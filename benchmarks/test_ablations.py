@@ -1,0 +1,98 @@
+"""Ablation benchmarks: shuffle, scheduler, and scale stability.
+
+These are not paper figures; they isolate the design choices DESIGN.md
+calls out (abl-1..abl-3).
+"""
+
+from conftest import report_figure
+
+from repro.harness.ablations import (
+    run_channel_ablation,
+    run_pattern_sweep,
+    run_impulse_ablation,
+    run_scaling_ablation,
+    run_scheduler_ablation,
+    run_shuffle_ablation,
+)
+from repro.harness.common import current_scale
+
+
+def test_abl1_shuffle_chip_conflicts(benchmark):
+    figure = benchmark(run_shuffle_ablation)
+    report_figure("abl1", figure.render())
+    strides = figure.xs
+    no_shuffle = dict(zip(strides, figure.series["no shuffle"]))
+    with_shuffle = dict(zip(strides, figure.series["with shuffle"]))
+    assert no_shuffle[8] == 8 and with_shuffle[8] == 1
+
+
+def test_abl2_scheduler(benchmark):
+    scale = current_scale()
+    figure = benchmark.pedantic(
+        run_scheduler_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    report_figure("abl2", figure.render())
+    # The Row Store starvation gap narrows under FCFS.
+    row = dict(zip(figure.xs, figure.series["Row Store"]))
+    gs = dict(zip(figure.xs, figure.series["GS-DRAM"]))
+    frfcfs_gap = gs["fr-fcfs"] / row["fr-fcfs"]
+    fcfs_gap = gs["fcfs"] / max(row["fcfs"], 1e-9)
+    assert frfcfs_gap > fcfs_gap
+
+
+def test_abl3_scale_stability(benchmark):
+    figure = benchmark.pedantic(
+        run_scaling_ablation, kwargs={"sizes": (2048, 8192, 32768)},
+        rounds=1, iterations=1,
+    )
+    report_figure("abl3", figure.render())
+    # Headline ratios stay in a stable band across an order of
+    # magnitude of table sizes.
+    for series in figure.series.values():
+        assert max(series) < 3.0 * min(series)
+        assert min(series) > 1.0  # GS-DRAM wins at every size
+
+
+def test_abl4_impulse_baseline(benchmark):
+    scale = current_scale()
+    figure = benchmark.pedantic(
+        run_impulse_ablation, kwargs={"num_tuples": scale.db_tuples},
+        rounds=1, iterations=1,
+    )
+    report_figure("abl4", figure.render())
+    cycles = {name: series[0] for name, series in figure.series.items()}
+    reads = {name: series[1] for name, series in figure.series.items()}
+    # Impulse beats the Row Store (cache utilisation) but not GS-DRAM.
+    assert cycles["GS-DRAM"] < cycles["Impulse"] < cycles["Row Store"]
+    # Impulse's DRAM traffic equals the Row Store's; GS-DRAM's is 8x less.
+    assert reads["Impulse"] == reads["Row Store"]
+    assert reads["Row Store"] == 8 * reads["GS-DRAM"]
+
+
+def test_abl5_channel_scaling(benchmark):
+    figure = benchmark.pedantic(
+        run_channel_ablation, kwargs={"rows_per_stream": 16},
+        rounds=1, iterations=1,
+    )
+    report_figure("abl5", figure.render())
+    row = dict(zip(figure.xs, figure.series["Row Store scans"]))
+    gs = dict(zip(figure.xs, figure.series["GS-DRAM scans"]))
+    # Two concurrent streams scale to two channels.
+    assert row[2] < 0.65 * row[1]
+    # GS-DRAM on ONE channel beats the Row Store on four.
+    assert gs[1] < row[4]
+
+
+def test_abl6_pattern_sweep(benchmark):
+    figure = benchmark.pedantic(
+        run_pattern_sweep, kwargs={"lines": 2048}, rounds=1, iterations=1
+    )
+    report_figure("abl6", figure.render())
+    scalar_reads = dict(zip(figure.xs, figure.series["scalar DRAM reads"]))
+    gathered_reads = dict(zip(figure.xs, figure.series["gathered DRAM reads"]))
+    scalar_cycles = dict(zip(figure.xs, figure.series["scalar cycles"]))
+    gathered_cycles = dict(zip(figure.xs, figure.series["gathered cycles"]))
+    for stride in (2, 4, 8):
+        # Traffic reduction is exactly the stride.
+        assert scalar_reads[stride] == stride * gathered_reads[stride]
+        assert gathered_cycles[stride] < scalar_cycles[stride]

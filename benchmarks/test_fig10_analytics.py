@@ -1,0 +1,29 @@
+"""Figure 10 benchmark: analytics (column sums), with/without prefetch.
+
+Expected shape (paper): GS-DRAM tracks the Column Store and is ~2x
+faster than the Row Store; prefetching helps every mechanism.
+"""
+
+from conftest import report_figure
+
+from repro.harness.common import current_scale
+from repro.harness.fig10_analytics import run_figure10
+
+
+def test_fig10_analytics_workloads(benchmark):
+    scale = current_scale()
+    figure, summary = benchmark.pedantic(
+        run_figure10, args=(scale,), rounds=1, iterations=1
+    )
+    report_figure("fig10", figure.render() + "\n" + summary.render())
+    benchmark.extra_info["gs_vs_row"] = figure.speedup("Row Store", "GS-DRAM")
+
+    # GS-DRAM well ahead of the Row Store, close to the Column Store.
+    assert figure.speedup("Row Store", "GS-DRAM") > 1.8
+    assert 0.5 < figure.speedup("Column Store", "GS-DRAM") < 2.5
+
+    # Prefetching helps every mechanism (x-axis: k=1, k=2, then +pf).
+    for mechanism, series in figure.series.items():
+        without = series[0] + series[1]
+        with_pf = series[2] + series[3]
+        assert with_pf < without, mechanism

@@ -1,0 +1,35 @@
+"""Figure 11 benchmark: HTAP analytics latency + transaction throughput.
+
+Expected shape (paper): (a) GS-DRAM matches the Column Store's
+analytics time, far ahead of the Row Store; (b) GS-DRAM's transaction
+throughput beats the Column Store, and with prefetching the Row Store's
+streaming analytics starves its transaction thread under FR-FCFS.
+"""
+
+from conftest import report_figure
+
+from repro.harness.common import current_scale
+from repro.harness.fig11_htap import run_figure11
+
+
+def test_fig11_htap(benchmark):
+    scale = current_scale()
+    analytics, throughput, summary = benchmark.pedantic(
+        run_figure11, args=(scale,), rounds=1, iterations=1
+    )
+    report_figure(
+        "fig11",
+        analytics.render() + "\n\n" + throughput.render() + "\n" + summary.render(),
+    )
+
+    # 11a: analytics ordering.
+    assert analytics.speedup("Row Store", "GS-DRAM") > 2.0
+    assert 0.5 < analytics.speedup("Column Store", "GS-DRAM") < 2.0
+
+    # 11b: GS-DRAM throughput beats the Column Store in both variants.
+    gs = throughput.series["GS-DRAM"]
+    col = throughput.series["Column Store"]
+    row = throughput.series["Row Store"]
+    assert gs[0] > col[0] and gs[1] > col[1]
+    # With prefetching, the Row Store's txn thread is starved badly.
+    assert gs[1] > 2.0 * row[1]

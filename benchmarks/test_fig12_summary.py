@@ -1,0 +1,44 @@
+"""Figure 12 benchmark: average performance and energy summary.
+
+Expected shape (paper): 12a mirrors Figures 9/10. 12b: transaction
+energy GS ~= Row Store, ~2.1x below Column Store; analytics energy GS
+~= Column Store, ~2.4x below Row Store with prefetching (4x without).
+"""
+
+from conftest import report_figure
+
+from repro.harness.common import current_scale
+from repro.harness.fig12_summary import run_figure12
+
+
+def test_fig12_performance_and_energy(benchmark):
+    scale = current_scale()
+    perf, energy, summary = benchmark.pedantic(
+        run_figure12, args=(scale,), rounds=1, iterations=1
+    )
+    report_figure(
+        "fig12",
+        perf.render() + "\n\n" + energy.render() + "\n" + summary.render(),
+    )
+
+    # 12a performance orderings.
+    trans = {name: series[0] for name, series in perf.series.items()}
+    anal = {name: series[1] for name, series in perf.series.items()}
+    assert trans["GS-DRAM"] < trans["Column Store"]
+    assert anal["GS-DRAM"] < anal["Row Store"]
+
+    # 12b energy orderings.
+    trans_e = {name: series[0] for name, series in energy.series.items()}
+    anal_e = {name: series[1] for name, series in energy.series.items()}
+    assert trans_e["Column Store"] / trans_e["GS-DRAM"] > 1.5
+    assert 0.8 < trans_e["Row Store"] / trans_e["GS-DRAM"] < 1.3
+    assert anal_e["Row Store"] / anal_e["GS-DRAM"] > 1.5
+    # The paper reports a large analytics-energy gap both with (2.4x)
+    # and without (4x) prefetching. Our in-order blocking core gains as
+    # much from prefetching on GS-DRAM as on the Row Store, so the
+    # with/without ordering is not a robust reproduction target — only
+    # the magnitude of both gaps is (see EXPERIMENTS.md).
+    with_pf = summary.ratios["analytics energy w/ pf: Row Store / GS-DRAM (paper: 2.4x)"]
+    without_pf = summary.ratios["analytics energy w/o pf: Row Store / GS-DRAM (paper: 4x)"]
+    assert with_pf > 2.0
+    assert without_pf > 2.0

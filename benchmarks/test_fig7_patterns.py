@@ -1,0 +1,31 @@
+"""Figure 7 benchmark: gathered-line families of GS-DRAM(4,2,2).
+
+Functional artifact: verifies the reproduced pattern table against the
+paper's figure and times the substrate's gather-geometry computation.
+"""
+
+from conftest import report_figure
+
+from repro.harness.fig7_patterns import (
+    computed_figure7,
+    families_match,
+    render_figure7,
+)
+
+
+def test_fig7_pattern_table(benchmark):
+    table = benchmark(computed_figure7, 4, 4)
+    assert families_match(table)
+    report_figure("fig7", render_figure7())
+
+
+def test_fig7_eight_chip_table(benchmark):
+    """The evaluation configuration's full table (8 chips, 3 bits)."""
+    from repro.core.pattern import pattern_table
+
+    table = benchmark(pattern_table, 8, 8, 3)
+    # Pattern 7 gathers stride 8 at every column.
+    for column, indices in enumerate(table[7]):
+        assert sorted(indices) == sorted(
+            ((column & 7) + 8 * k) for k in range(8)
+        )

@@ -1,0 +1,31 @@
+"""Figure 9 benchmark: transaction workload across the eight i-j-k mixes.
+
+Expected shape (paper): GS-DRAM tracks Row Store; Column Store degrades
+as transactions touch more fields; GS-DRAM averages ~3x faster than the
+Column Store.
+"""
+
+from conftest import report_figure
+
+from repro.harness.common import current_scale
+from repro.harness.fig9_transactions import run_figure9
+
+
+def test_fig9_transaction_workloads(benchmark):
+    scale = current_scale()
+    figure, summary = benchmark.pedantic(
+        run_figure9, args=(scale,), rounds=1, iterations=1
+    )
+    report_figure("fig9", figure.render() + "\n" + summary.render())
+    benchmark.extra_info["gs_vs_column"] = figure.speedup("Column Store", "GS-DRAM")
+    benchmark.extra_info["gs_vs_row"] = figure.speedup("Row Store", "GS-DRAM")
+
+    # Shape assertions (the reproduction targets).
+    assert figure.speedup("Column Store", "GS-DRAM") > 2.0
+    assert 0.8 < figure.speedup("Row Store", "GS-DRAM") < 1.25
+    # Column Store degrades with fields: last mix slower than first.
+    col = figure.series["Column Store"]
+    assert col[-1] > col[0]
+    # Row Store is roughly flat.
+    row = figure.series["Row Store"]
+    assert max(row) < 1.6 * min(row)

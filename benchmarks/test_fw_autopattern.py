@@ -1,0 +1,31 @@
+"""Future-work benchmark: dynamic pattern detection (Section 4).
+
+An unmodified record-strided scan under four machines; the detector
+must recover most of the hand-written pattload version's benefit.
+"""
+
+from conftest import report_figure
+
+from repro.harness.common import current_scale
+from repro.harness.fw_autopattern import run_autopattern_experiment
+
+
+def test_fw_dynamic_pattern_detection(benchmark):
+    scale = current_scale()
+    figure = benchmark.pedantic(
+        run_autopattern_experiment, kwargs={"tuples": scale.db_tuples},
+        rounds=1, iterations=1,
+    )
+    report_figure("fw-auto", figure.render())
+    cycles = {name: series[0] for name, series in figure.series.items()}
+    reads = {name: series[1] for name, series in figure.series.items()}
+
+    # Without detection, GS-DRAM runs the unmodified code like DRAM.
+    assert 0.9 < (cycles["GS-DRAM, no detection"]
+                  / cycles["commodity DRAM"]) < 1.15
+    # Detection recovers the bulk of the hand-written benefit.
+    assert cycles["GS-DRAM + auto detect"] < 0.35 * cycles["commodity DRAM"]
+    assert (cycles["GS-DRAM + auto detect"]
+            < 1.25 * cycles["GS-DRAM, hand-written pattload"])
+    # Traffic collapses to near the hand-written level.
+    assert reads["GS-DRAM + auto detect"] < reads["commodity DRAM"] / 4

@@ -1,0 +1,103 @@
+"""Microbenchmarks of the substrate itself (not paper figures).
+
+These use pytest-benchmark's statistical timing (many rounds) since
+they measure small operations: functional gathers/scatters, the shuffle
+network, and the timed controller's request path.
+"""
+
+import struct
+
+from repro.core.pattern import gather_spec
+from repro.core.shuffle import shuffle
+from repro.core.substrate import GSDRAM
+from repro.dram.address import Geometry
+from repro.mem.controller import MemoryController
+from repro.mem.request import MemoryRequest, RequestKind
+from repro.core.module import GSModule
+from repro.utils.events import Engine
+
+GEOMETRY = Geometry(chips=8, banks=8, rows_per_bank=64, columns_per_row=128)
+
+
+def test_micro_shuffle(benchmark):
+    values = list(range(8))
+    result = benchmark(shuffle, values, 5, 3)
+    assert sorted(result) == values
+
+
+def test_micro_gather_spec(benchmark):
+    spec = benchmark(gather_spec, 8, 7, 3)
+    assert spec.uniform_stride == 8
+
+
+def test_micro_functional_gather(benchmark):
+    gs = GSDRAM.configure(chips=8, geometry=GEOMETRY)
+    for line in range(8):
+        gs.write_values(line * 64, list(range(line * 8, line * 8 + 8)))
+    result = benchmark(gs.read_values, 0, 7)
+    assert result == list(range(0, 64, 8))
+
+
+def test_micro_functional_scatter(benchmark):
+    gs = GSDRAM.configure(chips=8, geometry=GEOMETRY)
+    payload = list(range(8))
+
+    def scatter():
+        gs.write_values(0, payload, pattern=7)
+
+    benchmark(scatter)
+    assert gs.read_values(0, pattern=7) == payload
+
+
+def test_micro_controller_row_hit_stream(benchmark):
+    """Timed controller: a 64-request row-hit stream."""
+
+    def stream():
+        engine = Engine()
+        module = GSModule(geometry=GEOMETRY)
+        controller = MemoryController(engine, module)
+        done = []
+        for i in range(64):
+            controller.submit(
+                MemoryRequest(i * 64, RequestKind.READ,
+                              callback=lambda r: done.append(r))
+            )
+        engine.run()
+        return done
+
+    done = benchmark(stream)
+    assert len(done) == 64
+
+
+def test_micro_l1_hit_fast_path(benchmark):
+    """Synchronous L1-hit throughput (the simulator's hot loop)."""
+    from repro.cache.hierarchy import CacheHierarchy
+
+    engine = Engine()
+    module = GSModule(geometry=GEOMETRY)
+    controller = MemoryController(engine, module)
+    hierarchy = CacheHierarchy(engine, controller)
+    module.write_line(0, bytes(64))
+    box = []
+    hierarchy.access(0, 0, callback=box.append)
+    engine.run()  # fill the line
+
+    def hit():
+        return hierarchy.access(0, 8)
+
+    result = benchmark(hit)
+    assert result is not None  # synchronous hit
+
+
+def test_micro_autopattern_observe(benchmark):
+    """Per-load cost of the dynamic pattern detector."""
+    from repro.cpu.autopattern import AutoPatternUnit
+
+    unit = AutoPatternUnit()
+    state = {"address": 0}
+
+    def observe():
+        state["address"] += 64
+        return unit.observe(0x10, state["address"], 0, True, 7)
+
+    benchmark(observe)

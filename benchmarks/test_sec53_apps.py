@@ -1,0 +1,38 @@
+"""Section 5.3 application benchmarks: KV store and graph processing.
+
+Quantifies the use cases the paper sketches in Section 5.3 (which it
+motivates but does not evaluate) — these are this reproduction's own
+measurements.
+"""
+
+from conftest import report_figure
+
+from repro.harness.sec53_apps import run_graph_experiment, run_kvstore_experiment
+
+
+def test_sec53_kvstore(benchmark):
+    figure = benchmark.pedantic(
+        run_kvstore_experiment, kwargs={"pairs": 4096}, rounds=1, iterations=1
+    )
+    report_figure("sec53-kv", figure.render())
+    gs = dict(zip(figure.xs, figure.series["GS-DRAM"]))
+    pair = dict(zip(figure.xs, figure.series["pair layout"]))
+    # Inserts at parity (both write one pair line per insert).
+    assert 0.8 < gs["insert cycles"] / pair["insert cycles"] < 1.2
+    # The gathered key scan halves traffic and wins on time.
+    assert pair["scan DRAM reads"] == 2 * gs["scan DRAM reads"]
+    assert gs["scan cycles"] < pair["scan cycles"]
+
+
+def test_sec53_graph(benchmark):
+    figure = benchmark.pedantic(
+        run_graph_experiment, kwargs={"vertices": 1024, "edges": 4096},
+        rounds=1, iterations=1,
+    )
+    report_figure("sec53-graph", figure.render())
+    gs = dict(zip(figure.xs, figure.series["GS-DRAM"]))
+    record = dict(zip(figure.xs, figure.series["record layout"]))
+    # Field analytics: GS-DRAM well ahead.
+    assert gs["analytics cycles"] < 0.6 * record["analytics cycles"]
+    # Traversal: parity within 10%.
+    assert 0.9 < gs["BFS cycles"] / record["BFS cycles"] < 1.1

@@ -1,0 +1,51 @@
+"""Sensitivity sweeps: shuffle stages, prefetch degree, L2 capacity."""
+
+from conftest import report_figure
+
+from repro.harness.sweeps import (
+    sweep_l2_size,
+    sweep_prefetch_degree,
+    sweep_shuffle_stages,
+)
+
+
+def test_sweep_shuffle_stages(benchmark):
+    figure = benchmark.pedantic(
+        sweep_shuffle_stages, kwargs={"num_tuples": 4096},
+        rounds=1, iterations=1,
+    )
+    report_figure("sweep-stages", figure.render())
+    gs = figure.series["GS-DRAM"]
+    row = figure.series["Row Store reference"]
+    # Monotonic improvement with stages; even one stage beats the row store.
+    assert gs[0] > gs[1] > gs[2]
+    assert gs[0] < row[0]
+
+
+def test_sweep_prefetch_degree(benchmark):
+    figure = benchmark.pedantic(
+        sweep_prefetch_degree, kwargs={"num_tuples": 8192},
+        rounds=1, iterations=1,
+    )
+    report_figure("sweep-prefetch", figure.render())
+    gs = dict(zip(figure.xs, figure.series["GS-DRAM"]))
+    row = dict(zip(figure.xs, figure.series["Row Store"]))
+    # Prefetching helps both; GS-DRAM wins at every degree.
+    assert gs[4] < gs[0]
+    assert row[4] < row[0]
+    for degree in figure.xs:
+        assert gs[degree] < row[degree]
+
+
+def test_sweep_l2_size(benchmark):
+    figure = benchmark.pedantic(
+        sweep_l2_size, kwargs={"num_tuples": 8192}, rounds=1, iterations=1
+    )
+    report_figure("sweep-l2", figure.render())
+    gs = figure.series["GS-DRAM"]
+    row = figure.series["Row Store"]
+    # The gap persists at every capacity (bandwidth, not cache, effect).
+    for gs_cycles, row_cycles in zip(gs, row):
+        assert gs_cycles < 0.5 * row_cycles
+    # Cold single-pass scans are roughly capacity-insensitive.
+    assert max(gs) < 1.3 * min(gs)

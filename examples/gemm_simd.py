@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""GEMM with GS-DRAM-enabled SIMD (paper Section 5.2).
+
+Compares three kernels computing C = A x B:
+
+- non-tiled scalar (normalisation baseline);
+- best tiled + SIMD with *software gathers* for B's columns;
+- tiled + SIMD with GS-DRAM pattern-7 gathers (no software gather).
+
+Every product is verified against numpy.
+
+Run:  python examples/gemm_simd.py [--sizes 16 32 64]
+"""
+
+import argparse
+
+from repro.gemm import best_tiled, run_gs, run_naive
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32],
+                        help="matrix sizes (multiples of 8)")
+    args = parser.parse_args()
+
+    rows = []
+    for n in args.sizes:
+        naive = run_naive(n)
+        tiled = best_tiled(n)
+        gs = run_gs(n, tiled.tile or 8)
+        for run in (naive, tiled, gs):
+            assert run.verified, f"{run.kernel} produced a wrong product"
+        reduction = (tiled.cycles - gs.cycles) / tiled.cycles
+        rows.append([
+            n,
+            naive.cycles,
+            f"{tiled.cycles} (T={tiled.tile})",
+            gs.cycles,
+            f"{tiled.cycles / naive.cycles:.3f}",
+            f"{gs.cycles / naive.cycles:.3f}",
+            f"{reduction:.0%}",
+        ])
+    print(render_table(
+        ["n", "non-tiled", "best tiled", "GS-DRAM",
+         "tiled/naive", "gs/naive", "GS gain vs tiled"],
+        rows,
+        title="GEMM execution time (cycles), all products numpy-verified",
+    ))
+    print("\nGS-DRAM reads each 8x8 tile of B column-wise with pattern 7,")
+    print("so SIMD loads need no software gather (paper Figure 13).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Graph processing on GS-DRAM (paper Section 5.3).
+
+Builds a random directed graph, stores vertex records (8 fields each)
+on GS-DRAM vs plain DRAM, and contrasts the two access-pattern
+families the paper describes:
+
+- whole-graph *field analytics* (degree sum, label histogram) — GS
+  gathers cut line traffic 8x;
+- *traversal* (BFS writing the level field, verified against networkx)
+  and per-vertex updates — pattern-0 record accesses, unaffected.
+
+Run:  python examples/graph_analytics.py [--vertices N --edges M]
+"""
+
+import argparse
+import random
+
+import networkx as nx
+
+from repro.graph import (
+    GraphStore,
+    bfs_ops,
+    field_analytics_ops,
+    initialise_records,
+    vertex_update_ops,
+)
+from repro.sim import System, plain_dram_config, table1_config
+from repro.utils.tables import render_table
+
+
+def build(gs: bool, vertices: int, edge_list, labels):
+    system = System(table1_config() if gs else plain_dram_config())
+    store = GraphStore(system, vertices, edge_list, gs=gs)
+    initialise_records(store, labels)
+    return system, store
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=1024)
+    parser.add_argument("--edges", type=int, default=4096)
+    args = parser.parse_args()
+
+    rng = random.Random(11)
+    edge_list = [(rng.randrange(args.vertices), rng.randrange(args.vertices))
+                 for _ in range(args.edges)]
+    labels = [rng.randrange(4) for _ in range(args.vertices)]
+
+    print("== field analytics (degree sum + label histogram) ==")
+    rows = []
+    for gs in (False, True):
+        system, store = build(gs, args.vertices, edge_list, labels)
+        result = {}
+        run = system.run([field_analytics_ops(store, result)])
+        assert result["degree_sum"] == store.num_edges
+        rows.append(["GS-DRAM" if gs else "record layout",
+                     run.cycles, run.memory_accesses])
+    print(render_table(["storage", "cycles", "mem accesses"], rows))
+
+    print("\n== BFS traversal (verified against networkx) ==")
+    rows = []
+    for gs in (False, True):
+        system, store = build(gs, args.vertices, edge_list, labels)
+        levels = {}
+        run = system.run([bfs_ops(store, 0, levels)])
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(args.vertices))
+        graph.add_edges_from(edge_list)
+        expected = dict(nx.single_source_shortest_path_length(graph, 0))
+        assert levels == expected, "BFS mismatch vs networkx"
+        rows.append(["GS-DRAM" if gs else "record layout",
+                     run.cycles, len(levels)])
+    print(render_table(["storage", "cycles", "vertices reached"], rows))
+    print("\nTraversal is per-record (pattern 0): GS-DRAM matches the")
+    print("record layout, while field analytics run far fewer lines.")
+
+    print("\n== per-vertex updates ==")
+    system, store = build(True, args.vertices, edge_list, labels)
+    touched = [rng.randrange(args.vertices) for _ in range(256)]
+    run = system.run([vertex_update_ops(store, touched, delta=7)])
+    print(f"updated {len(touched)} records in {run.cycles:,} cycles "
+          f"({run.memory_accesses} line transfers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Graphics on GS-DRAM (paper Section 5.3): pixels vs channels.
+
+A framebuffer of pixel objects (8 channels per pixel, one cache line
+each). Per-pixel compositing uses pattern-0 accesses; whole-image
+channel operations (histogram, Z-buffer scan) gather one channel of 8
+pixels per cache line with pattern 7.
+
+Run:  python examples/graphics_channels.py
+"""
+
+import random
+
+from repro.graphics import CH_B, CH_Z, CHANNELS, Framebuffer
+from repro.sim import System, plain_dram_config, table1_config
+from repro.utils.tables import render_table
+
+W, H = 64, 32  # 2048 pixels
+
+
+def build(gs: bool):
+    system = System(table1_config() if gs else plain_dram_config())
+    fb = Framebuffer(system, W, H, gs=gs)
+    rng = random.Random(8)
+    records = [[rng.randrange(256) for _ in range(CHANNELS)]
+               for _ in range(W * H)]
+    fb.load_pixels(records)
+    return system, fb, records
+
+
+def main() -> None:
+    print("== per-channel: blue histogram + Z-buffer scan ==")
+    rows = []
+    for gs in (False, True):
+        system, fb, records = build(gs)
+        histogram = [0] * 8
+        count = [0]
+        result = system.run([fb.channel_histogram_ops(CH_B, 8, histogram, 32)])
+        result2 = system.run([fb.depth_test_ops(128, count)])
+        expected = [0] * 8
+        for record in records:
+            expected[min(record[CH_B] // 32, 7)] += 1
+        assert histogram == expected, "histogram wrong"
+        assert count[0] == sum(1 for r in records if r[CH_Z] < 128)
+        rows.append(["GS-DRAM" if gs else "pixel layout",
+                     result.cycles + result2.cycles,
+                     result.memory_accesses + result2.memory_accesses])
+    print(render_table(["storage", "cycles", "mem accesses"], rows))
+
+    print("\n== per-pixel: composite 256 random splats ==")
+    rows = []
+    for gs in (False, True):
+        system, fb, _ = build(gs)
+        rng = random.Random(9)
+
+        def splats():
+            for _ in range(256):
+                pixel = rng.randrange(W * H)
+                colour = (rng.randrange(256), rng.randrange(256),
+                          rng.randrange(256))
+                yield from fb.blend_ops(pixel, colour, alpha_num=128)
+
+        result = system.run([splats()])
+        rows.append(["GS-DRAM" if gs else "pixel layout",
+                     result.cycles, result.memory_accesses])
+    print(render_table(["storage", "cycles", "mem accesses"], rows))
+    print("\nPer-pixel compositing is pattern-0 work: GS-DRAM matches the")
+    print("pixel layout, while channel sweeps run 8x fewer lines.")
+
+
+if __name__ == "__main__":
+    main()

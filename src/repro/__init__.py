@@ -1,0 +1,62 @@
+"""Gather-Scatter DRAM (GS-DRAM) — a functional + timing reproduction.
+
+Reproduces Seshadri et al., "Gather-Scatter DRAM: In-DRAM Address
+Translation to Improve the Spatial Locality of Non-unit Strided
+Accesses", MICRO-48, 2015.
+
+Quick start::
+
+    from repro import GSDRAM
+
+    gs = GSDRAM.configure(chips=8, shuffle_stages=3, pattern_bits=3)
+    gs.write_values(0, list(range(8)))          # one cache line
+    gs.read_values(0, pattern=7)                 # stride-8 gather
+
+Full-system simulation::
+
+    from repro import System, table1_config
+    system = System(table1_config())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.pattern import pattern_for_stride, stride_for_pattern
+from repro.core.substrate import GSDRAM, HardwareCost
+from repro.cpu.isa import Compute, Load, Store, pattload, pattstore
+from repro.dram.address import Geometry, MappingPolicy
+from repro.dram.module import DRAMModule
+from repro.sim.config import (
+    Mechanism,
+    SchedulerKind,
+    SystemConfig,
+    plain_dram_config,
+    table1_config,
+)
+from repro.sim.results import RunResult
+from repro.sim.system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Compute",
+    "DRAMModule",
+    "GSDRAM",
+    "Geometry",
+    "HardwareCost",
+    "Load",
+    "MappingPolicy",
+    "Mechanism",
+    "RunResult",
+    "SchedulerKind",
+    "Store",
+    "System",
+    "SystemConfig",
+    "pattern_for_stride",
+    "pattload",
+    "pattstore",
+    "plain_dram_config",
+    "stride_for_pattern",
+    "table1_config",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+- ``figures [--scale quick|default|full]`` — run every paper-figure
+  driver and print the reproduced tables (no pytest needed).
+- ``quickstart`` — the substrate walk-through (same as
+  examples/quickstart.py).
+- ``report`` — regenerate EXPERIMENTS.md from benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def run_figures(scale_name: str) -> int:
+    os.environ["REPRO_SCALE"] = scale_name
+    from repro.harness import (
+        current_scale,
+        render_figure7,
+        run_figure9,
+        run_figure10,
+        run_figure11,
+        run_figure12,
+        run_figure13,
+    )
+
+    scale = current_scale()
+    print(f"running all figure drivers at scale '{scale.name}'\n")
+    print(render_figure7(), "\n")
+    for runner in (run_figure9, run_figure10, run_figure13):
+        outputs = runner(scale)
+        for output in outputs:
+            print(output.render(), "\n")
+    analytics, throughput, summary = run_figure11(scale)
+    print(analytics.render(), "\n")
+    print(throughput.render(), "\n")
+    print(summary.render(), "\n")
+    perf, energy, summary12 = run_figure12(scale)
+    print(perf.render(), "\n")
+    print(energy.render(), "\n")
+    print(summary12.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    figures = sub.add_parser("figures", help="reproduce every paper figure")
+    figures.add_argument("--scale", default="quick",
+                         choices=["quick", "default", "full"])
+    sub.add_parser("quickstart", help="substrate walk-through")
+    sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+
+    if args.command == "figures":
+        return run_figures(args.scale)
+    if args.command == "quickstart":
+        sys.path.insert(0, "examples")
+        import importlib.util
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+        spec = importlib.util.spec_from_file_location("quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        return 0
+    if args.command == "report":
+        from repro.harness.report import main as report_main
+
+        report_main()
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

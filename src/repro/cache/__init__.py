@@ -1,0 +1,16 @@
+"""On-chip cache substrate: pattern-tagged caches, coherence, prefetch."""
+
+from repro.cache.cache import Cache
+from repro.cache.dbi import DirtyBlockIndex
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.line import CacheLine
+from repro.cache.prefetcher import PrefetchCandidate, StridePrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheLine",
+    "DirtyBlockIndex",
+    "PrefetchCandidate",
+    "StridePrefetcher",
+]

@@ -1,0 +1,71 @@
+"""The paper's contribution: the Gather-Scatter DRAM substrate.
+
+Shuffle (Section 3.2) + CTL (Section 3.3) + the GS module (Section 3.4)
++ the facade (:class:`GSDRAM`) + Section 6 extensions.
+"""
+
+from repro.core.ctl import CTLCost, ColumnTranslationLogic, build_ctls, rank_ctl_cost
+from repro.core.extensions import EccGSModule, EccWord, TiledChip
+from repro.core.module import GSModule, GSRank
+from repro.core.pattern import (
+    DEFAULT_PATTERN,
+    GatherSpec,
+    chip_conflicts,
+    gather_spec,
+    gathered_values,
+    pattern_for_stride,
+    pattern_table,
+    stride_for_pattern,
+    supported_strides,
+    validate_pattern,
+)
+from repro.core.shuffle import (
+    LSBShuffle,
+    MaskedShuffle,
+    NoShuffle,
+    ShuffleFunction,
+    XorFoldShuffle,
+    butterfly_stage,
+    shuffle,
+    shuffle_key,
+    shuffle_stagewise,
+    unshuffle,
+)
+from repro.core.substrate import GSDRAM, HardwareCost
+from repro.core.verify import CheckReport, verify_substrate
+
+__all__ = [
+    "CTLCost",
+    "CheckReport",
+    "ColumnTranslationLogic",
+    "DEFAULT_PATTERN",
+    "EccGSModule",
+    "EccWord",
+    "GSDRAM",
+    "GSModule",
+    "GSRank",
+    "GatherSpec",
+    "HardwareCost",
+    "LSBShuffle",
+    "MaskedShuffle",
+    "NoShuffle",
+    "ShuffleFunction",
+    "TiledChip",
+    "XorFoldShuffle",
+    "build_ctls",
+    "butterfly_stage",
+    "chip_conflicts",
+    "gather_spec",
+    "gathered_values",
+    "pattern_for_stride",
+    "pattern_table",
+    "rank_ctl_cost",
+    "shuffle",
+    "shuffle_key",
+    "shuffle_stagewise",
+    "stride_for_pattern",
+    "supported_strides",
+    "unshuffle",
+    "validate_pattern",
+    "verify_substrate",
+]

@@ -1,0 +1,106 @@
+"""Column Translation Logic (paper Section 3.3, Figure 5).
+
+Each chip (or the module, on the chips' behalf) carries one CTL that
+computes the chip-local column address for every column command:
+
+    chip_column = (chip_id AND pattern_id) XOR issued_column
+
+The CTL is two bitwise operations plus a chip-ID register and a mux
+that bypasses translation for non-column commands — the entire
+hardware cost of GS-DRAM on the DRAM side (Section 4.4).
+
+Section 6.2's *wider pattern IDs* repeat the physical chip ID to fill
+the pattern width (chip 3 of 8 with a 6-bit pattern uses ``011011``),
+which this class supports via ``pattern_bits`` > ``log2(chips)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pattern import validate_pattern
+from repro.errors import PatternError
+from repro.utils.bitops import ilog2, mask, repeat_to_width
+
+
+@dataclass(frozen=True)
+class CTLCost:
+    """Gate/register cost of one CTL instance (Section 4.4)."""
+
+    and_gates: int
+    xor_gates: int
+    mux_gates: int
+    register_bits: int
+
+    @property
+    def total_gates(self) -> int:
+        return self.and_gates + self.xor_gates + self.mux_gates
+
+
+class ColumnTranslationLogic:
+    """Per-chip column translation: ``(chip_id & pattern) ^ column``."""
+
+    def __init__(self, chip_id: int, num_chips: int, pattern_bits: int) -> None:
+        if num_chips <= 0 or chip_id < 0 or chip_id >= num_chips:
+            raise PatternError(
+                f"chip_id {chip_id} invalid for {num_chips}-chip rank"
+            )
+        if pattern_bits <= 0:
+            raise PatternError("pattern_bits must be positive")
+        self.chip_id = chip_id
+        self.num_chips = num_chips
+        self.pattern_bits = pattern_bits
+        chip_bits = ilog2(num_chips)
+        if pattern_bits > chip_bits:
+            # Section 6.2: widen by repeating the physical chip ID.
+            self.effective_chip_id = repeat_to_width(chip_id, chip_bits, pattern_bits)
+        else:
+            self.effective_chip_id = chip_id & mask(pattern_bits)
+
+    def translate(self, column: int, pattern: int, is_column_command: bool = True) -> int:
+        """Chip-local column for an issued ``column`` and ``pattern``.
+
+        The mux in Figure 5 forwards the address untranslated for
+        non-column commands (ACTIVATE row addresses must never be
+        translated).
+        """
+        if not is_column_command:
+            return column
+        validate_pattern(pattern, self.pattern_bits)
+        return (self.effective_chip_id & pattern) ^ column
+
+    def cost(self) -> CTLCost:
+        """Hardware cost in gates/bits for this CTL (Section 4.4).
+
+        One p-bit bitwise AND, one p-bit bitwise XOR, and a p-bit 2:1
+        mux count as ``p`` gates each; the chip-ID register is ``p``
+        bits. For GS-DRAM(8, 3, 3) the rank total is 8 * 9 = 72 gates
+        and 24 register bits, matching the paper.
+        """
+        p = self.pattern_bits
+        return CTLCost(and_gates=p, xor_gates=p, mux_gates=p, register_bits=p)
+
+    def __repr__(self) -> str:
+        return (
+            f"CTL(chip={self.chip_id}, effective={self.effective_chip_id:0{self.pattern_bits}b},"
+            f" pattern_bits={self.pattern_bits})"
+        )
+
+
+def build_ctls(num_chips: int, pattern_bits: int) -> list[ColumnTranslationLogic]:
+    """One CTL per chip, as placed in the module (Figure 6)."""
+    return [
+        ColumnTranslationLogic(chip_id, num_chips, pattern_bits)
+        for chip_id in range(num_chips)
+    ]
+
+
+def rank_ctl_cost(num_chips: int, pattern_bits: int) -> CTLCost:
+    """Aggregate CTL cost across a rank."""
+    per_chip = ColumnTranslationLogic(0, num_chips, pattern_bits).cost()
+    return CTLCost(
+        and_gates=per_chip.and_gates * num_chips,
+        xor_gates=per_chip.xor_gates * num_chips,
+        mux_gates=per_chip.mux_gates * num_chips,
+        register_bits=per_chip.register_bits * num_chips,
+    )

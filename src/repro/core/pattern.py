@@ -1,0 +1,195 @@
+"""Pattern-ID algebra for GS-DRAM.
+
+A *pattern ID* is the small modifier the memory controller sends with
+each column command (Section 3.3). Pattern ``0`` is the default
+(contiguous) access; pattern ``2^k - 1`` gathers data with stride
+``2^k``. This module holds the pure arithmetic relating patterns,
+strides, and the global row-buffer indices each (pattern, column) pair
+gathers — the content of the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PatternError
+from repro.utils.bitops import ilog2, is_power_of_two, mask
+
+#: The default pattern: a conventional contiguous cache-line access.
+DEFAULT_PATTERN = 0
+
+
+def validate_pattern(pattern: int, pattern_bits: int) -> None:
+    """Raise PatternError unless ``pattern`` fits in ``pattern_bits``."""
+    if pattern < 0 or pattern > mask(pattern_bits):
+        raise PatternError(
+            f"pattern {pattern} does not fit in {pattern_bits} pattern bits"
+        )
+
+
+def pattern_for_stride(stride: int) -> int:
+    """Pattern ID that gathers ``stride``-strided values: ``stride - 1``.
+
+    Only power-of-2 strides are supported (Section 3.1): stride 2 ->
+    pattern 1, stride 4 -> pattern 3, stride 8 -> pattern 7.
+
+    >>> pattern_for_stride(8)
+    7
+    """
+    if not is_power_of_two(stride):
+        raise PatternError(f"GS-DRAM supports power-of-2 strides, got {stride}")
+    return stride - 1
+
+
+def stride_for_pattern(pattern: int) -> int | None:
+    """Stride gathered by ``pattern``, or None for mixed patterns.
+
+    Patterns of the form ``2^k - 1`` gather a uniform stride ``2^k``.
+    Other patterns (e.g. pattern 2 with 4 chips) gather useful but
+    non-uniform index sets — the paper's "dual stride (1, 7)".
+    """
+    if pattern < 0:
+        raise PatternError(f"negative pattern {pattern}")
+    if is_power_of_two(pattern + 1):
+        return pattern + 1
+    return None
+
+
+@dataclass(frozen=True)
+class GatherSpec:
+    """Geometry of one gather: which values a (pattern, column) fetches.
+
+    ``indices`` are global 8-byte-value indices within the logical row
+    buffer, listed in ascending order (the order in which the memory
+    controller assembles the gathered cache line).
+    """
+
+    chips: int
+    pattern: int
+    column: int
+    indices: tuple[int, ...]
+
+    @property
+    def is_contiguous(self) -> bool:
+        first = self.indices[0]
+        return all(idx == first + i for i, idx in enumerate(self.indices))
+
+    @property
+    def uniform_stride(self) -> int | None:
+        """The single stride between gathered values, if uniform."""
+        gaps = {
+            second - first
+            for first, second in zip(self.indices, self.indices[1:])
+        }
+        if len(gaps) == 1:
+            return gaps.pop()
+        return None
+
+
+def gathered_values(
+    chips: int,
+    pattern: int,
+    column: int,
+    shuffle_mask: int | None = None,
+) -> list[tuple[int, int, int]]:
+    """Per-chip (chip_id, chip_column, value_index) for one gather.
+
+    ``value_index`` is the logical 8-byte value (of line ``chip_column``)
+    that chip ``chip_id`` holds under column-ID shuffling with
+    ``shuffle_mask`` (defaults to the full ``chips - 1`` mask, i.e.
+    ``log2(chips)`` shuffle stages).
+
+    This is the analytical model of the hardware: chip ``d`` accesses
+    column ``(d & pattern) XOR column`` (the CTL), and under shuffling
+    that column's value ``d XOR (chip_column & shuffle_mask)`` lives on
+    chip ``d``.
+    """
+    if not is_power_of_two(chips):
+        raise PatternError(f"chip count must be a power of two, got {chips}")
+    chip_mask = chips - 1
+    if shuffle_mask is None:
+        shuffle_mask = chip_mask
+    results = []
+    for chip_id in range(chips):
+        chip_column = (chip_id & pattern) ^ column
+        value_index = chip_id ^ (chip_column & shuffle_mask)
+        results.append((chip_id, chip_column, value_index))
+    return results
+
+
+def gather_spec(
+    chips: int,
+    pattern: int,
+    column: int,
+    shuffle_mask: int | None = None,
+) -> GatherSpec:
+    """Global row-buffer indices gathered by (pattern, column).
+
+    Reproduces one cell family of the paper's Figure 7: e.g. with 4
+    chips, pattern 3, column 0 gathers indices (0, 4, 8, 12).
+
+    >>> gather_spec(4, 3, 0).indices
+    (0, 4, 8, 12)
+    """
+    per_chip = gathered_values(chips, pattern, column, shuffle_mask)
+    indices = sorted(
+        chip_column * chips + value_index
+        for _chip_id, chip_column, value_index in per_chip
+    )
+    return GatherSpec(chips=chips, pattern=pattern, column=column, indices=tuple(indices))
+
+
+def pattern_table(chips: int, columns: int, pattern_bits: int) -> dict[int, list[tuple[int, ...]]]:
+    """Full Figure 7 table: pattern -> list of gathered index tuples.
+
+    For each pattern, the list holds the gathered tuple for every column
+    ID ``0 .. columns-1``.
+    """
+    table: dict[int, list[tuple[int, ...]]] = {}
+    for pattern in range(1 << pattern_bits):
+        validate_pattern(pattern, pattern_bits)
+        table[pattern] = [
+            gather_spec(chips, pattern, column).indices for column in range(columns)
+        ]
+    return table
+
+
+def chip_conflicts(chips: int, stride: int, shuffle_mask: int, count: int | None = None) -> int:
+    """Maximum number of stride-``stride`` values mapped to one chip.
+
+    This is the paper's "chip conflict" metric (Challenge 1): the
+    number of READ commands needed to gather ``count`` values (default:
+    one value per chip) with the given shuffle. With no shuffling
+    (``shuffle_mask = 0``) and stride >= chips, every value lands on the
+    same chip, so a gather costs ``chips`` READs; with full shuffling it
+    costs exactly 1.
+    """
+    if count is None:
+        count = chips
+    per_chip: dict[int, int] = {}
+    for i in range(count):
+        index = i * stride
+        line, value = divmod(index, chips)
+        chip = value ^ (line & shuffle_mask)
+        per_chip[chip] = per_chip.get(chip, 0) + 1
+    return max(per_chip.values())
+
+
+def supported_strides(chips: int, shuffle_stages: int, pattern_bits: int) -> list[int]:
+    """Strides gathered in a single READ by GS-DRAM(c, s, p).
+
+    A stride ``2^k`` needs pattern ``2^k - 1`` to fit in ``pattern_bits``
+    and its shuffle to be covered by ``shuffle_stages`` stages (and at
+    most ``chips`` distinct values per line family).
+    """
+    strides = []
+    k = 1
+    while True:
+        stride = 1 << k
+        pattern = stride - 1
+        if pattern > mask(pattern_bits):
+            break
+        if pattern <= mask(min(shuffle_stages, ilog2(chips))):
+            strides.append(stride)
+        k += 1
+    return strides

@@ -1,0 +1,182 @@
+"""Column-ID-based data shuffling (paper Section 3.2, Figure 4).
+
+When the memory controller writes the cache line with column address
+``C``, an ``s``-stage butterfly network permutes the line's 8-byte
+values across chips: stage ``k`` (0-based) swaps groups of ``2^k``
+values iff bit ``k`` of ``C`` is set. The net effect is the closed form
+
+    chip(value j, column C) = j XOR (C mod 2^s)
+
+The butterfly is implemented both stage-by-stage (mirroring the
+hardware of Figure 4) and via the XOR closed form; the test suite
+checks they agree, and the closed form is what the hot paths use.
+
+Section 6.1's *programmable shuffling* generalises which column bits
+drive the stages; that is captured by the :class:`ShuffleFunction`
+hierarchy here and consumed by the GS module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.errors import PatternError
+from repro.utils.bitops import mask, xor_fold
+
+T = TypeVar("T")
+
+
+def butterfly_stage(values: list[T], stage: int) -> list[T]:
+    """Apply one shuffle stage: swap adjacent groups of ``2^stage`` values.
+
+    Stage 0 swaps adjacent values, stage 1 swaps adjacent pairs, etc.
+    (Figure 4's Stage 1 and Stage 2, 0-indexed here.)
+    """
+    group = 1 << stage
+    if len(values) % (2 * group) != 0:
+        raise PatternError(
+            f"stage {stage} needs a multiple of {2 * group} values, "
+            f"got {len(values)}"
+        )
+    out = list(values)
+    for base in range(0, len(values), 2 * group):
+        out[base : base + group] = values[base + group : base + 2 * group]
+        out[base + group : base + 2 * group] = values[base : base + group]
+    return out
+
+
+def shuffle_stagewise(values: Sequence[T], control: int, stages: int) -> list[T]:
+    """Run the butterfly network with explicit per-stage ``control`` bits.
+
+    Bit ``k`` of ``control`` enables stage ``k``. This mirrors the
+    hardware datapath; prefer :func:`shuffle` for bulk use.
+    """
+    out = list(values)
+    for stage in range(stages):
+        if control >> stage & 1:
+            out = butterfly_stage(out, stage)
+    return out
+
+
+def shuffle(values: Sequence[T], column: int, stages: int) -> list[T]:
+    """Shuffle a line's values for storage at ``column``.
+
+    Closed form of the butterfly: output chip ``i`` receives input value
+    ``i XOR (column mod 2^stages)``. The butterfly is an involution, so
+    the same function unshuffles (see :func:`unshuffle`).
+    """
+    key = column & mask(stages)
+    if key == 0:
+        return list(values)
+    return [values[i ^ key] for i in range(len(values))]
+
+
+def unshuffle(values: Sequence[T], column: int, stages: int) -> list[T]:
+    """Inverse of :func:`shuffle` (identical, since XOR is an involution)."""
+    return shuffle(values, column, stages)
+
+
+def shuffle_key(column: int, stages: int) -> int:
+    """The XOR key applied to value indices for this column."""
+    return column & mask(stages)
+
+
+class ShuffleFunction:
+    """Maps a column ID to the butterfly's per-stage control bits.
+
+    The default hardware (Section 3.2) uses the ``s`` least-significant
+    column bits directly. Section 6.1 allows a *shuffle mask* disabling
+    some stages, or arbitrary bit combinations (e.g. XOR of bit groups).
+
+    All concrete functions must be XOR-linear in a loose sense: the
+    controller needs to invert them, and since the butterfly with
+    control ``k`` is "XOR index with k", inversion is automatic — the
+    same control bits unshuffle.
+    """
+
+    #: Number of stages this function drives (log2 of chips, usually).
+    stages: int
+
+    def control_bits(self, column: int) -> int:
+        """Per-stage control word for ``column``."""
+        raise NotImplementedError
+
+    def apply(self, values: Sequence[T], column: int) -> list[T]:
+        """Shuffle ``values`` according to this function at ``column``."""
+        key = self.control_bits(column)
+        if key == 0:
+            return list(values)
+        return [values[i ^ key] for i in range(len(values))]
+
+    def invert(self, values: Sequence[T], column: int) -> list[T]:
+        """Unshuffle; identical to :meth:`apply` (XOR involution)."""
+        return self.apply(values, column)
+
+
+class LSBShuffle(ShuffleFunction):
+    """The paper's default: stages driven by the column ID's LSBs."""
+
+    def __init__(self, stages: int) -> None:
+        if stages < 0:
+            raise PatternError(f"negative shuffle stage count: {stages}")
+        self.stages = stages
+
+    def control_bits(self, column: int) -> int:
+        return column & mask(self.stages)
+
+    def __repr__(self) -> str:
+        return f"LSBShuffle(stages={self.stages})"
+
+
+class MaskedShuffle(ShuffleFunction):
+    """Section 6.1: an explicit mask disables selected stages.
+
+    ``MaskedShuffle(stages=2, stage_mask=0b10)`` disables the
+    adjacent-value swap and keeps the pair swap.
+    """
+
+    def __init__(self, stages: int, stage_mask: int) -> None:
+        if stage_mask < 0 or stage_mask > mask(stages):
+            raise PatternError(
+                f"stage_mask {stage_mask:#b} does not fit in {stages} stages"
+            )
+        self.stages = stages
+        self.stage_mask = stage_mask
+
+    def control_bits(self, column: int) -> int:
+        return column & self.stage_mask
+
+    def __repr__(self) -> str:
+        return f"MaskedShuffle(stages={self.stages}, mask={self.stage_mask:#b})"
+
+
+class XorFoldShuffle(ShuffleFunction):
+    """Section 6.1: control bits from an XOR of column-bit groups.
+
+    Folding the whole column ID into ``stages`` bits spreads shuffle
+    decisions across high and low column bits, in the spirit of
+    XOR-scheme interleaving [Frailong+ ICPP'85].
+    """
+
+    def __init__(self, stages: int) -> None:
+        if stages <= 0:
+            raise PatternError("XorFoldShuffle needs at least one stage")
+        self.stages = stages
+
+    def control_bits(self, column: int) -> int:
+        return xor_fold(column, self.stages)
+
+    def __repr__(self) -> str:
+        return f"XorFoldShuffle(stages={self.stages})"
+
+
+class NoShuffle(ShuffleFunction):
+    """Shuffling disabled: the Section 2 direct mapping (ablation abl-1)."""
+
+    stages = 0
+
+    def control_bits(self, column: int) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NoShuffle()"

@@ -1,0 +1,223 @@
+"""The GS-DRAM substrate facade: the paper-facing functional API.
+
+:class:`GSDRAM` wraps a :class:`~repro.core.module.GSModule` with the
+operations the paper describes — gather/scatter by stride, pattern
+support queries, chip-conflict analysis, and the Section 4.4 hardware
+cost model. The timed path (memory controller, caches, cores) is built
+on the same module in :mod:`repro.sim.system`; this facade is the
+timing-free entry point used by examples and by the functional layers
+of the applications.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.ctl import rank_ctl_cost
+from repro.core.module import GSModule
+from repro.core.pattern import (
+    DEFAULT_PATTERN,
+    chip_conflicts,
+    gather_spec,
+    pattern_for_stride,
+    stride_for_pattern,
+    supported_strides,
+)
+from repro.core.shuffle import LSBShuffle, NoShuffle, ShuffleFunction
+from repro.dram.address import Geometry
+from repro.errors import PatternError
+from repro.utils.bitops import ilog2, mask
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Section 4.4 hardware cost summary for a GS-DRAM configuration."""
+
+    dram_logic_gates: int
+    dram_register_bits: int
+    extra_channel_pins: int
+    cache_tag_bits_per_line: int
+    cache_area_overhead: float
+
+    def render(self) -> str:
+        return (
+            f"DRAM-side: {self.dram_logic_gates} gates, "
+            f"{self.dram_register_bits} register bits; "
+            f"{self.extra_channel_pins} extra channel pin(s); "
+            f"cache: +{self.cache_tag_bits_per_line} tag bits/line "
+            f"({self.cache_area_overhead:.2%} area)"
+        )
+
+
+class GSDRAM:
+    """GS-DRAM(c, s, p): functional gather/scatter over a DRAM module.
+
+    >>> gs = GSDRAM.configure(chips=8, shuffle_stages=3, pattern_bits=3)
+    >>> gs.supported_strides()
+    [2, 4, 8]
+    """
+
+    def __init__(self, module: GSModule) -> None:
+        self.module = module
+
+    @classmethod
+    def configure(
+        cls,
+        chips: int = 8,
+        shuffle_stages: int | None = None,
+        pattern_bits: int = 3,
+        geometry: Geometry | None = None,
+        shuffle: ShuffleFunction | None = None,
+    ) -> "GSDRAM":
+        """Build a GS-DRAM(c, s, p) with a default or custom geometry."""
+        if geometry is None:
+            geometry = Geometry(chips=chips)
+        elif geometry.chips != chips:
+            raise PatternError(
+                f"geometry has {geometry.chips} chips but {chips} requested"
+            )
+        if shuffle is None:
+            stages = ilog2(chips) if shuffle_stages is None else shuffle_stages
+            shuffle = LSBShuffle(stages) if stages > 0 else NoShuffle()
+        module = GSModule(geometry=geometry, shuffle=shuffle, pattern_bits=pattern_bits)
+        return cls(module)
+
+    # ------------------------------------------------------------------
+    # Shape queries
+    # ------------------------------------------------------------------
+    @property
+    def chips(self) -> int:
+        return self.module.geometry.chips
+
+    @property
+    def shuffle_stages(self) -> int:
+        return self.module.shuffle.stages
+
+    @property
+    def pattern_bits(self) -> int:
+        return self.module.pattern_bits
+
+    @property
+    def line_bytes(self) -> int:
+        return self.module.line_bytes
+
+    @property
+    def value_bytes(self) -> int:
+        """Size of one gathered value (one chip's column width)."""
+        return self.module.geometry.column_bytes
+
+    def name(self) -> str:
+        """Paper notation, e.g. ``GS-DRAM(8,3,3)``."""
+        return f"GS-DRAM({self.chips},{self.shuffle_stages},{self.pattern_bits})"
+
+    def supported_strides(self) -> list[int]:
+        """Strides gatherable in one READ under this configuration."""
+        return supported_strides(self.chips, self.shuffle_stages, self.pattern_bits)
+
+    def pattern_for_stride(self, stride: int) -> int:
+        """Pattern ID for a power-of-2 ``stride``; validates support."""
+        pattern = pattern_for_stride(stride)
+        if pattern > mask(self.pattern_bits):
+            raise PatternError(
+                f"stride {stride} needs pattern {pattern}, which exceeds "
+                f"{self.pattern_bits} pattern bits"
+            )
+        return pattern
+
+    def reads_required(self, stride: int, shuffled: bool = True) -> int:
+        """READ commands needed to gather ``chips`` stride-spaced values.
+
+        With shuffling and a supported stride this is 1; without
+        shuffling (Section 2's direct mapping) a stride >= chips puts
+        every value on one chip, costing ``chips`` READs.
+        """
+        shuffle_mask = (
+            mask(self.shuffle_stages) if shuffled and self.shuffle_stages else 0
+        )
+        return chip_conflicts(self.chips, stride, shuffle_mask)
+
+    def gather_indices(self, pattern: int, column: int) -> tuple[int, ...]:
+        """Row-buffer value indices gathered by (pattern, column) (Fig. 7)."""
+        shuffle_mask = mask(self.shuffle_stages)
+        return gather_spec(self.chips, pattern, column, shuffle_mask).indices
+
+    def pattern_stride(self, pattern: int) -> int | None:
+        """Uniform stride of ``pattern`` or None (e.g. the dual-stride 2)."""
+        return stride_for_pattern(pattern)
+
+    # ------------------------------------------------------------------
+    # Functional gather/scatter
+    # ------------------------------------------------------------------
+    def read(self, address: int, pattern: int = DEFAULT_PATTERN, shuffled: bool = True) -> bytes:
+        """Read one (gathered) cache line at ``address``."""
+        return self.module.read_line(address, pattern, shuffled)
+
+    def write(
+        self,
+        address: int,
+        data: bytes,
+        pattern: int = DEFAULT_PATTERN,
+        shuffled: bool = True,
+    ) -> None:
+        """Write (scatter) one cache line at ``address``."""
+        self.module.write_line(address, data, pattern, shuffled)
+
+    def read_values(
+        self, address: int, pattern: int = DEFAULT_PATTERN, shuffled: bool = True
+    ) -> list[int]:
+        """Read a line and decode it as unsigned 64-bit little-endian values."""
+        data = self.read(address, pattern, shuffled)
+        count = len(data) // 8
+        return list(struct.unpack(f"<{count}Q", data))
+
+    def write_values(
+        self,
+        address: int,
+        values: list[int],
+        pattern: int = DEFAULT_PATTERN,
+        shuffled: bool = True,
+    ) -> None:
+        """Encode unsigned 64-bit values and scatter them at ``address``."""
+        data = struct.pack(f"<{len(values)}Q", *values)
+        self.write(address, data, pattern, shuffled)
+
+    # ------------------------------------------------------------------
+    # Self-verification
+    # ------------------------------------------------------------------
+    def self_check(self, columns: int | None = None):
+        """Exhaustively verify this configuration's gather semantics.
+
+        Returns a :class:`repro.core.verify.CheckReport`; ``report.ok``
+        is True when every (pattern, column) combination round-trips,
+        covers one value per chip, matches its intended index family,
+        and keeps the coherence overlap relation symmetric. Intended
+        for custom shuffle functions / geometries; NOTE: it writes to
+        the first two DRAM rows.
+        """
+        from repro.core.verify import verify_substrate
+
+        return verify_substrate(self, columns=columns)
+
+    # ------------------------------------------------------------------
+    # Cost model (Section 4.4)
+    # ------------------------------------------------------------------
+    def hardware_cost(self, tag_bits: int = 48) -> HardwareCost:
+        """Hardware cost of this configuration.
+
+        The cache area overhead is the added pattern-ID tag bits over a
+        line's data+tag storage: 3 bits over (512 data + ``tag_bits``)
+        is ~0.54%, the paper's "<0.6% cache area cost". DDR4's column
+        command has two spare address pins, so a 3-bit pattern needs one
+        extra pin.
+        """
+        ctl = rank_ctl_cost(self.chips, self.pattern_bits)
+        line_bits = self.line_bytes * 8 + tag_bits
+        spare_pins = 2  # DDR4 column commands have two spare address pins
+        return HardwareCost(
+            dram_logic_gates=ctl.total_gates,
+            dram_register_bits=ctl.register_bits,
+            extra_channel_pins=max(0, self.pattern_bits - spare_pins),
+            cache_tag_bits_per_line=self.pattern_bits,
+            cache_area_overhead=self.pattern_bits / line_bits,
+        )

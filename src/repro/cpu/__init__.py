@@ -1,0 +1,15 @@
+"""CPU model: instruction-stream ops and the in-order core."""
+
+from repro.cpu.core import Core
+from repro.cpu.isa import Compute, Load, Store, as_u64, pattload, pattstore, store_u64
+
+__all__ = [
+    "Compute",
+    "Core",
+    "Load",
+    "Store",
+    "as_u64",
+    "pattload",
+    "pattstore",
+    "store_u64",
+]

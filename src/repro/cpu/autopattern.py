@@ -1,0 +1,129 @@
+"""Dynamic pattern detection — the paper's stated future work.
+
+Section 4 of the paper: "It is also possible for the processor to
+dynamically identify different access patterns present in an
+application and exploit GS-DRAM to accelerate such patterns
+transparently to the application. [...] we leave the design of such an
+automatic mechanism for future work."
+
+This module implements that mechanism. The key observation making it
+safe: on a shuffled page with alternate pattern ``p = 2^k - 1``, the
+value at byte address ``base + t*L + f*w`` (field ``f`` of record
+``t``, line size ``L``, value size ``w``, ``L = (p+1) * w``) is *also*
+the ``(t mod (p+1))``-th value of the gathered line whose issued column
+is ``(t - t mod (p+1)) + f``. Rewriting a scalar load to that gathered
+(address, pattern) pair returns the identical bytes — conversion can
+never change program semantics, only locality.
+
+So the unit mirrors a stride predictor: per load PC it tracks the
+recent stride; when a PC streams with stride exactly one record
+(``L`` bytes) through a pattern-capable page, its loads are rewritten
+into ``pattload``-equivalent accesses. A misprediction wastes locality
+(the gathered line brings sibling records' fields) but is never wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.statistics import StatGroup
+
+
+@dataclass
+class _Entry:
+    last_address: int
+    stride: int = 0
+    confidence: int = 0
+
+
+@dataclass(frozen=True)
+class Conversion:
+    """A rewritten access: gathered line addressing + pattern ID."""
+
+    address: int
+    pattern: int
+
+
+class AutoPatternUnit:
+    """Per-core dynamic gather conversion (the paper's future work).
+
+    ``observe`` is consulted on every load; it returns a
+    :class:`Conversion` when the access should be issued as a gather.
+    """
+
+    #: Confirmations of the record stride required before converting.
+    THRESHOLD = 2
+
+    def __init__(self, line_bytes: int = 64, value_bytes: int = 8,
+                 table_size: int = 128) -> None:
+        self.line_bytes = line_bytes
+        self.value_bytes = value_bytes
+        self.table_size = table_size
+        self._table: dict[int, _Entry] = {}
+        self.stats = StatGroup("auto_pattern")
+
+    def observe(
+        self,
+        pc: int,
+        address: int,
+        pattern: int,
+        shuffled: bool,
+        alt_pattern: int,
+        size: int = 8,
+    ) -> Conversion | None:
+        """Consider one load; maybe return a gather conversion.
+
+        Only single-value (8-byte) pattern-0 loads on shuffled pages
+        whose alternate pattern is a full-stride pattern (2^k - 1) are
+        candidates; explicit pattloads are left alone. Wider loads span
+        multiple fields of one record, which a gathered line does not
+        hold contiguously — they are never converted.
+        """
+        if pc == 0 or pattern != 0 or not shuffled or alt_pattern == 0:
+            return None
+        if size != self.value_bytes:
+            return None
+        group = alt_pattern + 1
+        if group & (group - 1):
+            return None  # not a 2^k - 1 pattern
+        if group * self.value_bytes != self.line_bytes:
+            return None  # record size does not match the gather group
+
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _Entry(last_address=address)
+            return None
+        stride = address - entry.last_address
+        entry.last_address = address
+        if stride == self.line_bytes and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, self.THRESHOLD + 1)
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+            return None
+        if entry.confidence < self.THRESHOLD:
+            return None
+
+        self.stats.add("conversions")
+        return Conversion(
+            address=self._gathered_address(address, alt_pattern),
+            pattern=alt_pattern,
+        )
+
+    def _gathered_address(self, address: int, pattern: int) -> int:
+        """Map a scalar element address to its gathered-line location.
+
+        With record index ``t = (address // L) mod columns`` and field
+        ``f = (address mod L) / w``: the gathered line's column is
+        ``(t & ~p) + f`` and the element sits at position ``t & p``.
+        """
+        group = pattern + 1
+        line_index = address // self.line_bytes
+        offset = address % self.line_bytes
+        field = offset // self.value_bytes
+        aligned = line_index - (line_index % group)
+        gathered_line = aligned + field
+        position = line_index % group
+        return gathered_line * self.line_bytes + position * self.value_bytes

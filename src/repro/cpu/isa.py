@@ -1,0 +1,113 @@
+"""Instruction-stream operations executed by the core model.
+
+Workloads are generators of these ops. The vocabulary is deliberately
+small — the paper's evaluation needs loads, stores, their pattern
+variants (``pattload``/``pattstore``, Section 4.2), and compute:
+
+- :class:`Compute` — ``count`` back-to-back single-cycle instructions
+  (the in-order core's CPI is 1 for non-memory work).
+- :class:`Load` / :class:`Store` — ordinary memory accesses
+  (pattern 0).
+- :func:`pattload` / :func:`pattstore` — accesses carrying a non-zero
+  pattern ID, exactly the new instructions of Section 4.2. The paper
+  implements pattload by gathering into ``rax`` (8 bytes) or ``xmm0``
+  (16 bytes); ``size`` models the destination width.
+
+Ops are plain ``__slots__`` objects: workloads create millions of them
+(lazily, via generators), so they must stay cheap.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+
+class Compute:
+    """``count`` ALU instructions, one cycle each."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int = 1) -> None:
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"Compute({self.count})"
+
+
+class Load:
+    """A load of ``size`` bytes; ``on_value`` receives the loaded bytes.
+
+    ``pc`` identifies the static instruction for the stride prefetcher.
+    A non-zero ``pattern`` makes this a ``pattload``.
+    """
+
+    __slots__ = ("address", "size", "pattern", "pc", "on_value")
+
+    def __init__(
+        self,
+        address: int,
+        size: int = 8,
+        pattern: int = 0,
+        pc: int = 0,
+        on_value: Callable[[bytes], None] | None = None,
+    ) -> None:
+        self.address = address
+        self.size = size
+        self.pattern = pattern
+        self.pc = pc
+        self.on_value = on_value
+
+    def __repr__(self) -> str:
+        return f"Load({self.address:#x}, size={self.size}, patt={self.pattern})"
+
+
+class Store:
+    """A store of ``payload`` bytes; non-zero ``pattern`` = ``pattstore``."""
+
+    __slots__ = ("address", "payload", "pattern", "pc")
+
+    def __init__(
+        self,
+        address: int,
+        payload: bytes,
+        pattern: int = 0,
+        pc: int = 0,
+    ) -> None:
+        self.address = address
+        self.payload = payload
+        self.pattern = pattern
+        self.pc = pc
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        return f"Store({self.address:#x}, size={self.size}, patt={self.pattern})"
+
+
+def pattload(
+    address: int,
+    pattern: int,
+    size: int = 8,
+    pc: int = 0,
+    on_value: Callable[[bytes], None] | None = None,
+) -> Load:
+    """``pattload reg, addr, patt`` (Section 4.2)."""
+    return Load(address, size=size, pattern=pattern, pc=pc, on_value=on_value)
+
+
+def pattstore(address: int, payload: bytes, pattern: int, pc: int = 0) -> Store:
+    """``pattstore reg, addr, patt`` (Section 4.2)."""
+    return Store(address, payload, pattern=pattern, pc=pc)
+
+
+def store_u64(address: int, value: int, pattern: int = 0, pc: int = 0) -> Store:
+    """Store one little-endian unsigned 64-bit value."""
+    return Store(address, struct.pack("<Q", value), pattern=pattern, pc=pc)
+
+
+def as_u64(data: bytes) -> int:
+    """Decode 8 bytes as a little-endian unsigned 64-bit value."""
+    return struct.unpack("<Q", data)[0]

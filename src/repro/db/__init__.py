@@ -1,0 +1,67 @@
+"""In-memory database application (paper Section 5.1)."""
+
+from repro.db.engine import (
+    AnalyticsRun,
+    HTAPRun,
+    TransactionRun,
+    run_analytics,
+    run_htap,
+    run_transactions,
+    system_for,
+)
+from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore, StorageLayout, all_layouts
+from repro.db.queries import (
+    Comparison,
+    FilterQuery,
+    FilterResult,
+    GroupByQuery,
+    filter_ops,
+    groupby_ops,
+    oracle_filter,
+    oracle_groupby,
+)
+from repro.db.schema import TableSchema
+from repro.db.table import OracleTable
+from repro.db.workload import (
+    FIGURE9_MIXES,
+    AnalyticsQuery,
+    FieldOp,
+    HTAPWorkload,
+    Transaction,
+    TransactionMix,
+    generate_transactions,
+    make_rows,
+)
+
+__all__ = [
+    "AnalyticsQuery",
+    "AnalyticsRun",
+    "ColumnStore",
+    "Comparison",
+    "FilterQuery",
+    "FilterResult",
+    "GroupByQuery",
+    "filter_ops",
+    "groupby_ops",
+    "oracle_filter",
+    "oracle_groupby",
+    "FIGURE9_MIXES",
+    "FieldOp",
+    "GSDRAMStore",
+    "HTAPRun",
+    "HTAPWorkload",
+    "OracleTable",
+    "RowStore",
+    "StorageLayout",
+    "TableSchema",
+    "Transaction",
+    "TransactionMix",
+    "TransactionRun",
+    "all_layouts",
+    "generate_transactions",
+    "make_rows",
+    "run_analytics",
+    "run_htap",
+    "run_transactions",
+    "system_for",
+]

@@ -1,0 +1,193 @@
+"""Experiment drivers: run DB workloads on a layout and verify answers.
+
+Each driver builds a fresh simulated machine appropriate for the
+layout (commodity DRAM for Row/Column Store, GS-DRAM for the GS
+store), loads the table, runs the workload to completion, verifies the
+functional answers against :class:`~repro.db.table.OracleTable`, and
+returns the :class:`~repro.sim.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.db.layouts import GSDRAMStore, StorageLayout
+from repro.db.schema import TableSchema
+from repro.db.table import OracleTable
+from repro.db.workload import (
+    AnalyticsQuery,
+    HTAPWorkload,
+    Transaction,
+    TransactionMix,
+    generate_transactions,
+    make_rows,
+)
+from repro.errors import WorkloadError
+from repro.sim.config import SystemConfig, plain_dram_config, table1_config
+from repro.sim.results import RunResult
+from repro.sim.system import System
+
+
+def system_for(layout: StorageLayout, cores: int = 1, prefetch: bool = False,
+               **overrides) -> System:
+    """A machine matched to the layout's substrate."""
+    if isinstance(layout, GSDRAMStore):
+        config = table1_config(cores=cores, prefetch=prefetch, **overrides)
+    else:
+        config = plain_dram_config(cores=cores, prefetch=prefetch, **overrides)
+    return System(config)
+
+
+@dataclass
+class TransactionRun:
+    """Outcome of a transaction-only run (Figure 9 point)."""
+
+    layout: str
+    mix_label: str
+    result: RunResult
+    verified: bool
+
+
+def run_transactions(
+    layout: StorageLayout,
+    mix: TransactionMix,
+    num_tuples: int = 8192,
+    count: int = 1000,
+    seed: int = 42,
+    prefetch: bool = False,
+    config_overrides: dict | None = None,
+) -> TransactionRun:
+    """Execute ``count`` transactions of one i-j-k mix on ``layout``."""
+    schema = layout.schema
+    rows = make_rows(schema, num_tuples)
+    oracle = OracleTable(schema, rows)
+    txns = generate_transactions(schema, num_tuples, mix, count, seed)
+    expected_reads = oracle.apply_all(txns)
+
+    system = system_for(layout, prefetch=prefetch, **(config_overrides or {}))
+    layout.attach(system, num_tuples)
+    layout.load_rows(rows)
+
+    observed: list[int] = []
+    result = system.run([layout.transactions_program(txns, observed.append)])
+
+    verified = observed == expected_reads and layout.read_rows() == oracle.rows
+    return TransactionRun(layout.name, mix.label, result, verified)
+
+
+@dataclass
+class AnalyticsRun:
+    """Outcome of an analytics run (Figure 10 point)."""
+
+    layout: str
+    query_label: str
+    prefetch: bool
+    result: RunResult
+    answer: int
+    verified: bool
+
+
+def run_analytics(
+    layout: StorageLayout,
+    query: AnalyticsQuery,
+    num_tuples: int = 8192,
+    prefetch: bool = False,
+    config_overrides: dict | None = None,
+) -> AnalyticsRun:
+    """Sum the queried columns on ``layout``."""
+    schema = layout.schema
+    rows = make_rows(schema, num_tuples)
+    oracle = OracleTable(schema, rows)
+    expected = oracle.column_sum(query)
+
+    system = system_for(layout, prefetch=prefetch, **(config_overrides or {}))
+    layout.attach(system, num_tuples)
+    layout.load_rows(rows)
+
+    total = [0]
+
+    def add(value: int) -> None:
+        total[0] += value
+
+    result = system.run([layout.analytics_ops(query, add)])
+    return AnalyticsRun(
+        layout.name, query.label, prefetch, result, total[0], total[0] == expected
+    )
+
+
+@dataclass
+class HTAPRun:
+    """Outcome of an HTAP run (Figure 11 point)."""
+
+    layout: str
+    prefetch: bool
+    analytics_cycles: int
+    committed_txns: int
+    txn_throughput_mps: float  # million transactions per second
+    result: RunResult
+
+
+def _endless_transactions(
+    layout: StorageLayout,
+    mix: TransactionMix,
+    num_tuples: int,
+    seed: int,
+    committed: list[int],
+):
+    """Open-ended transaction stream; counts committed transactions."""
+    schema = layout.schema
+    rng = random.Random(seed)
+    for txn_index in itertools.count():
+        txns = generate_transactions(
+            schema, num_tuples, mix, 1, seed=rng.randrange(1 << 30)
+        )
+        yield from layout.transaction_ops(txns[0])
+        committed[0] += 1
+
+
+def run_htap(
+    layout: StorageLayout,
+    workload: HTAPWorkload | None = None,
+    num_tuples: int = 8192,
+    prefetch: bool = False,
+    cpu_ghz: float = 4.0,
+    config_overrides: dict | None = None,
+) -> HTAPRun:
+    """One analytics thread + one transaction thread on two cores.
+
+    The transaction thread runs until the analytics thread completes
+    (``stop_on_core=0``), matching the paper's setup.
+    """
+    workload = workload or HTAPWorkload()
+    schema = layout.schema
+    rows = make_rows(schema, num_tuples)
+    oracle = OracleTable(schema, rows)
+
+    system = system_for(layout, cores=2, prefetch=prefetch,
+                        **(config_overrides or {}))
+    layout.attach(system, num_tuples)
+    layout.load_rows(rows)
+
+    total = [0]
+    committed = [0]
+    analytics = layout.analytics_ops(workload.analytics, lambda v: total.__setitem__(0, total[0] + v))
+    txn_stream = _endless_transactions(
+        layout, workload.txn_mix, num_tuples, workload.txn_seed, committed
+    )
+    result = system.run([analytics, txn_stream], stop_on_core=0)
+
+    analytics_cycles = system.cores[0].finish_time or result.cycles
+    if analytics_cycles <= 0:
+        raise WorkloadError("analytics thread did not run")
+    seconds = analytics_cycles / (cpu_ghz * 1e9)
+    throughput = committed[0] / seconds / 1e6
+    return HTAPRun(
+        layout.name,
+        prefetch,
+        analytics_cycles,
+        committed[0],
+        throughput,
+        result,
+    )

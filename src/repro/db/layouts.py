@@ -1,0 +1,301 @@
+"""Storage layouts: row store, column store, and the GS-DRAM store.
+
+Each layout knows how to (a) allocate and load the table into the
+simulated machine and (b) translate workload specifications into
+instruction streams:
+
+- :class:`RowStore` — tuples contiguous; a transaction touches one
+  cache line, a column scan strides by the tuple size.
+- :class:`ColumnStore` — one array per field; a column scan is
+  contiguous, a transaction touches one line *per field*.
+- :class:`GSDRAMStore` — physically a row store allocated with
+  ``pattmalloc(shuffle=True, pattern=7)``; transactions use ordinary
+  (pattern-0) accesses, column scans use ``pattload`` with pattern 7
+  exactly like the paper's Figure 8 loop.
+
+All layouts move real data, so query answers are checked against a
+Python oracle by the experiment drivers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator
+
+from repro.cpu.isa import Compute, Load, Store, pattload, pattstore
+from repro.db.schema import TableSchema
+from repro.db.workload import AnalyticsQuery, Transaction
+from repro.errors import WorkloadError
+from repro.sim.system import System
+
+#: Per-transaction bookkeeping cost (begin/commit, index lookup), cycles.
+TXN_OVERHEAD_CYCLES = 60
+#: Per-field-access address computation cost, cycles.
+FIELD_COMPUTE_CYCLES = 2
+#: Per-value cost of the analytics aggregation (one add), cycles.
+SCAN_COMPUTE_CYCLES = 1
+
+ValueSink = Callable[[int], None]
+
+
+def _u64(data: bytes) -> int:
+    return struct.unpack("<Q", data)[0]
+
+
+class StorageLayout:
+    """Common interface of the three layouts."""
+
+    name = "base"
+    mechanism_label = "base"
+
+    def __init__(self, schema: TableSchema | None = None) -> None:
+        self.schema = schema or TableSchema()
+        self.system: System | None = None
+        self.num_tuples = 0
+
+    # -- setup ----------------------------------------------------------
+    def attach(self, system: System, num_tuples: int) -> None:
+        """Allocate the table's storage inside ``system``."""
+        raise NotImplementedError
+
+    def load_rows(self, rows: list[list[int]]) -> None:
+        """Functionally load table contents (no simulated time)."""
+        raise NotImplementedError
+
+    def read_rows(self) -> list[list[int]]:
+        """Functionally read the whole table back (oracle comparison)."""
+        raise NotImplementedError
+
+    # -- workloads -> ops ------------------------------------------------
+    def transaction_ops(
+        self, txn: Transaction, on_read: ValueSink | None = None
+    ) -> Iterator:
+        """Ops for one transaction."""
+        raise NotImplementedError
+
+    def analytics_ops(self, query: AnalyticsQuery, on_value: ValueSink) -> Iterator:
+        """Ops for a full-column-sum analytics query."""
+        raise NotImplementedError
+
+    def transactions_program(
+        self, txns: list[Transaction], on_read: ValueSink | None = None
+    ) -> Iterator:
+        """One op stream executing all transactions in order."""
+        for txn in txns:
+            yield from self.transaction_ops(txn, on_read)
+
+    # -- helpers ----------------------------------------------------------
+    def _require_attached(self) -> System:
+        if self.system is None:
+            raise WorkloadError(f"{self.name}: attach() before generating ops")
+        return self.system
+
+    def _check_tuple(self, tuple_id: int) -> None:
+        if not 0 <= tuple_id < self.num_tuples:
+            raise WorkloadError(f"tuple {tuple_id} out of range")
+
+
+class RowStore(StorageLayout):
+    """Tuple-major layout on commodity DRAM."""
+
+    name = "Row Store"
+    mechanism_label = "row"
+
+    def attach(self, system: System, num_tuples: int) -> None:
+        self.system = system
+        self.num_tuples = num_tuples
+        self.base = system.malloc(num_tuples * self.schema.tuple_bytes)
+
+    def field_address(self, tuple_id: int, field: int) -> int:
+        return (
+            self.base
+            + tuple_id * self.schema.tuple_bytes
+            + field * self.schema.field_bytes
+        )
+
+    def load_rows(self, rows: list[list[int]]) -> None:
+        system = self._require_attached()
+        payload = b"".join(
+            struct.pack(f"<{self.schema.num_fields}Q", *row) for row in rows
+        )
+        system.mem_write(self.base, payload)
+
+    def read_rows(self) -> list[list[int]]:
+        system = self._require_attached()
+        raw = system.mem_read(self.base, self.num_tuples * self.schema.tuple_bytes)
+        fields = self.schema.num_fields
+        values = struct.unpack(f"<{self.num_tuples * fields}Q", raw)
+        return [list(values[i * fields : (i + 1) * fields]) for i in range(self.num_tuples)]
+
+    def transaction_ops(self, txn: Transaction, on_read=None) -> Iterator:
+        self._check_tuple(txn.tuple_id)
+        yield Compute(TXN_OVERHEAD_CYCLES)
+        for op in txn.ops:
+            self.schema.validate_field(op.field)
+            address = self.field_address(txn.tuple_id, op.field)
+            yield Compute(FIELD_COMPUTE_CYCLES)
+            if op.write:
+                yield Store(address, struct.pack("<Q", op.value), pc=0x1100 + op.field)
+            else:
+                sink = (lambda b, cb=on_read: cb(_u64(b))) if on_read else None
+                yield Load(address, pc=0x1000 + op.field, on_value=sink)
+
+    def analytics_ops(self, query: AnalyticsQuery, on_value: ValueSink) -> Iterator:
+        self._require_attached()
+        for field in query.fields:
+            self.schema.validate_field(field)
+            sink = lambda b: on_value(_u64(b))
+            pc = 0x2000 + field
+            for tuple_id in range(self.num_tuples):
+                yield Load(self.field_address(tuple_id, field), pc=pc, on_value=sink)
+                yield Compute(SCAN_COMPUTE_CYCLES)
+
+
+class ColumnStore(StorageLayout):
+    """Field-major (DSM) layout on commodity DRAM."""
+
+    name = "Column Store"
+    mechanism_label = "column"
+
+    def attach(self, system: System, num_tuples: int) -> None:
+        self.system = system
+        self.num_tuples = num_tuples
+        self.column_bases = [
+            system.malloc(num_tuples * self.schema.field_bytes)
+            for _ in range(self.schema.num_fields)
+        ]
+
+    def field_address(self, tuple_id: int, field: int) -> int:
+        return self.column_bases[field] + tuple_id * self.schema.field_bytes
+
+    def load_rows(self, rows: list[list[int]]) -> None:
+        system = self._require_attached()
+        for field in range(self.schema.num_fields):
+            payload = struct.pack(f"<{len(rows)}Q", *(row[field] for row in rows))
+            system.mem_write(self.column_bases[field], payload)
+
+    def read_rows(self) -> list[list[int]]:
+        system = self._require_attached()
+        columns = []
+        for field in range(self.schema.num_fields):
+            raw = system.mem_read(
+                self.column_bases[field], self.num_tuples * self.schema.field_bytes
+            )
+            columns.append(struct.unpack(f"<{self.num_tuples}Q", raw))
+        return [
+            [columns[f][t] for f in range(self.schema.num_fields)]
+            for t in range(self.num_tuples)
+        ]
+
+    def transaction_ops(self, txn: Transaction, on_read=None) -> Iterator:
+        self._check_tuple(txn.tuple_id)
+        yield Compute(TXN_OVERHEAD_CYCLES)
+        for op in txn.ops:
+            self.schema.validate_field(op.field)
+            address = self.field_address(txn.tuple_id, op.field)
+            yield Compute(FIELD_COMPUTE_CYCLES)
+            if op.write:
+                yield Store(address, struct.pack("<Q", op.value), pc=0x1300 + op.field)
+            else:
+                sink = (lambda b, cb=on_read: cb(_u64(b))) if on_read else None
+                yield Load(address, pc=0x1200 + op.field, on_value=sink)
+
+    def analytics_ops(self, query: AnalyticsQuery, on_value: ValueSink) -> Iterator:
+        self._require_attached()
+        for field in query.fields:
+            self.schema.validate_field(field)
+            sink = lambda b: on_value(_u64(b))
+            pc = 0x2100 + field
+            for tuple_id in range(self.num_tuples):
+                yield Load(self.field_address(tuple_id, field), pc=pc, on_value=sink)
+                yield Compute(SCAN_COMPUTE_CYCLES)
+
+
+class GSDRAMStore(StorageLayout):
+    """Row-store layout on GS-DRAM: pattern 0 for tuples, pattern 7 for
+    field scans (with 8 fields per tuple)."""
+
+    name = "GS-DRAM"
+    mechanism_label = "gs-dram"
+
+    def attach(self, system: System, num_tuples: int) -> None:
+        if num_tuples % self.schema.num_fields != 0:
+            raise WorkloadError(
+                "GS-DRAM store needs tuple count divisible by the gather "
+                f"group size ({self.schema.num_fields})"
+            )
+        if not system.module.supports_patterns:
+            raise WorkloadError("GSDRAMStore requires a GS-DRAM system")
+        self.system = system
+        self.num_tuples = num_tuples
+        self.pattern = self.schema.gather_pattern
+        self.base = system.pattmalloc(
+            num_tuples * self.schema.tuple_bytes, shuffle=True, pattern=self.pattern
+        )
+
+    def field_address(self, tuple_id: int, field: int) -> int:
+        return (
+            self.base
+            + tuple_id * self.schema.tuple_bytes
+            + field * self.schema.field_bytes
+        )
+
+    def gather_address(self, group_start: int, field: int, position: int) -> int:
+        """Address of the ``position``-th value in a gathered line.
+
+        The gathered line whose issued column is ``group_start + field``
+        holds field ``field`` of the 8 tuples starting at the (aligned)
+        ``group_start``; offsets walk the gathered values, exactly like
+        the paper's Figure 8 loop.
+        """
+        line = group_start + field
+        return self.base + line * self.schema.tuple_bytes + position * self.schema.field_bytes
+
+    def load_rows(self, rows: list[list[int]]) -> None:
+        system = self._require_attached()
+        payload = b"".join(
+            struct.pack(f"<{self.schema.num_fields}Q", *row) for row in rows
+        )
+        system.mem_write(self.base, payload)
+
+    def read_rows(self) -> list[list[int]]:
+        system = self._require_attached()
+        raw = system.mem_read(self.base, self.num_tuples * self.schema.tuple_bytes)
+        fields = self.schema.num_fields
+        values = struct.unpack(f"<{self.num_tuples * fields}Q", raw)
+        return [list(values[i * fields : (i + 1) * fields]) for i in range(self.num_tuples)]
+
+    def transaction_ops(self, txn: Transaction, on_read=None) -> Iterator:
+        self._check_tuple(txn.tuple_id)
+        yield Compute(TXN_OVERHEAD_CYCLES)
+        for op in txn.ops:
+            self.schema.validate_field(op.field)
+            address = self.field_address(txn.tuple_id, op.field)
+            yield Compute(FIELD_COMPUTE_CYCLES)
+            if op.write:
+                yield Store(address, struct.pack("<Q", op.value), pc=0x1500 + op.field)
+            else:
+                sink = (lambda b, cb=on_read: cb(_u64(b))) if on_read else None
+                yield Load(address, pc=0x1400 + op.field, on_value=sink)
+
+    def analytics_ops(self, query: AnalyticsQuery, on_value: ValueSink) -> Iterator:
+        self._require_attached()
+        group = self.schema.num_fields
+        for field in query.fields:
+            self.schema.validate_field(field)
+            sink = lambda b: on_value(_u64(b))
+            lead_pc = 0x2200 + field  # first pattload of each gathered line
+            body_pc = 0x2280 + field  # remaining (cache-hitting) pattloads
+            for group_start in range(0, self.num_tuples, group):
+                for position in range(group):
+                    address = self.gather_address(group_start, field, position)
+                    pc = lead_pc if position == 0 else body_pc
+                    yield pattload(
+                        address, pattern=self.pattern, pc=pc, on_value=sink
+                    )
+                    yield Compute(SCAN_COMPUTE_CYCLES)
+
+
+def all_layouts(schema: TableSchema | None = None) -> list[StorageLayout]:
+    """Fresh instances of the three layouts (one experiment each)."""
+    return [RowStore(schema), ColumnStore(schema), GSDRAMStore(schema)]

@@ -1,0 +1,153 @@
+"""Richer analytical queries: filtered aggregates and group-by.
+
+The paper's analytics workload is a plain column sum; real analytical
+engines run predicates and grouped aggregations over the same storage.
+These queries are columnar two-pass plans — scan the predicate/key
+column, then the value column, combining positionally — so each pass is
+exactly the access pattern GS-DRAM accelerates (one field of every
+tuple), regardless of layout.
+
+Execution reuses each layout's ``analytics_ops`` single-column scan;
+the plan code is therefore layout-independent, and every result is
+verified against :class:`~repro.db.table.OracleTable` extensions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.db.layouts import StorageLayout
+from repro.db.workload import AnalyticsQuery
+from repro.errors import WorkloadError
+
+
+class Comparison(enum.Enum):
+    """Predicate operators for filter queries."""
+
+    LT = "<"
+    GE = ">="
+    EQ = "=="
+
+    def apply(self, value: int, threshold: int) -> bool:
+        if self is Comparison.LT:
+            return value < threshold
+        if self is Comparison.GE:
+            return value >= threshold
+        return value == threshold
+
+
+@dataclass(frozen=True)
+class FilterQuery:
+    """``SELECT agg(value_field) WHERE predicate_field <op> threshold``.
+
+    ``value_field`` of ``None`` means ``COUNT(*)``.
+    """
+
+    predicate_field: int
+    op: Comparison
+    threshold: int
+    value_field: int | None = None
+
+    @property
+    def label(self) -> str:
+        agg = "count" if self.value_field is None else f"sum(f{self.value_field})"
+        return f"{agg} where f{self.predicate_field} {self.op.value} {self.threshold}"
+
+
+@dataclass(frozen=True)
+class GroupByQuery:
+    """``SELECT key_field, SUM(value_field) GROUP BY key_field``."""
+
+    key_field: int
+    value_field: int
+
+    @property
+    def label(self) -> str:
+        return f"sum(f{self.value_field}) group by f{self.key_field}"
+
+
+@dataclass
+class FilterResult:
+    """Mutable carrier filled in while the plan executes."""
+
+    matches: int = 0
+    aggregate: int = 0
+
+
+def filter_ops(layout: StorageLayout, query: FilterQuery,
+               result: FilterResult) -> Iterator:
+    """Two-pass filtered aggregate over one layout.
+
+    Pass 1 scans the predicate column and records the match bitmap;
+    pass 2 (only for aggregates) scans the value column and adds the
+    selected positions.
+    """
+    if query.value_field == query.predicate_field:
+        raise WorkloadError("use a plain filter on a single field instead")
+    bitmap: list[bool] = []
+
+    def judge(value: int) -> None:
+        matched = query.op.apply(value, query.threshold)
+        bitmap.append(matched)
+        if matched:
+            result.matches += 1
+
+    yield from layout.analytics_ops(AnalyticsQuery((query.predicate_field,)), judge)
+
+    if query.value_field is None:
+        result.aggregate = result.matches
+        return
+
+    cursor = [0]
+
+    def accumulate(value: int) -> None:
+        if bitmap[cursor[0]]:
+            result.aggregate += value
+        cursor[0] += 1
+
+    yield from layout.analytics_ops(AnalyticsQuery((query.value_field,)), accumulate)
+
+
+def groupby_ops(layout: StorageLayout, query: GroupByQuery,
+                result: dict[int, int]) -> Iterator:
+    """Two-pass grouped sum: key column, then value column."""
+    if query.key_field == query.value_field:
+        raise WorkloadError("group-by key and value fields must differ")
+    keys: list[int] = []
+    yield from layout.analytics_ops(AnalyticsQuery((query.key_field,)), keys.append)
+
+    cursor = [0]
+
+    def accumulate(value: int) -> None:
+        key = keys[cursor[0]]
+        result[key] = result.get(key, 0) + value
+        cursor[0] += 1
+
+    yield from layout.analytics_ops(AnalyticsQuery((query.value_field,)), accumulate)
+
+
+# ----------------------------------------------------------------------
+# Oracle-side semantics
+# ----------------------------------------------------------------------
+def oracle_filter(rows: list[list[int]], query: FilterQuery) -> FilterResult:
+    """Ground truth for a filter query."""
+    result = FilterResult()
+    for row in rows:
+        if query.op.apply(row[query.predicate_field], query.threshold):
+            result.matches += 1
+            if query.value_field is not None:
+                result.aggregate += row[query.value_field]
+    if query.value_field is None:
+        result.aggregate = result.matches
+    return result
+
+
+def oracle_groupby(rows: list[list[int]], query: GroupByQuery) -> dict[int, int]:
+    """Ground truth for a group-by query."""
+    out: dict[int, int] = {}
+    for row in rows:
+        key = row[query.key_field]
+        out[key] = out.get(key, 0) + row[query.value_field]
+    return out

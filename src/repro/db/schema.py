@@ -1,0 +1,49 @@
+"""Database table schema (paper Section 5.1).
+
+The paper's evaluation table has one million tuples, each with eight
+8-byte fields, fitting exactly in a 64-byte cache line. The schema
+type keeps those shape constants in one place and validates the
+mechanism's constraint that tuple size is a power of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.utils.bitops import is_power_of_two
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Shape of one database table."""
+
+    num_fields: int = 8
+    field_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_fields):
+            raise WorkloadError(
+                "GS-DRAM requires a power-of-2 tuple size "
+                f"(got {self.num_fields} fields)"
+            )
+        if self.field_bytes != 8:
+            raise WorkloadError("fields are one DRAM chip column: 8 bytes")
+
+    @property
+    def tuple_bytes(self) -> int:
+        return self.num_fields * self.field_bytes
+
+    def validate_field(self, field: int) -> None:
+        if not 0 <= field < self.num_fields:
+            raise WorkloadError(
+                f"field {field} out of range for {self.num_fields}-field schema"
+            )
+
+    @property
+    def gather_pattern(self) -> int:
+        """Pattern ID whose stride steps one field across tuples.
+
+        With 8 fields per tuple (stride 8), that is pattern 7.
+        """
+        return self.num_fields - 1

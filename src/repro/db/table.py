@@ -1,0 +1,54 @@
+"""Functional table oracle.
+
+The simulator moves real bytes; :class:`OracleTable` is the plain-
+Python ground truth the experiment drivers compare against. It applies
+the same workload specifications (transactions, column sums) directly
+to a list-of-lists, independent of any layout or timing model.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import TableSchema
+from repro.db.workload import AnalyticsQuery, Transaction
+
+
+class OracleTable:
+    """Ground-truth table contents and query semantics."""
+
+    def __init__(self, schema: TableSchema, rows: list[list[int]]) -> None:
+        self.schema = schema
+        self.rows = [list(row) for row in rows]
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.rows)
+
+    def apply_transaction(self, txn: Transaction) -> list[int]:
+        """Apply one transaction; returns the values its reads observed."""
+        observed = []
+        row = self.rows[txn.tuple_id]
+        for op in txn.ops:
+            if op.write:
+                row[op.field] = op.value
+            else:
+                observed.append(row[op.field])
+        return observed
+
+    def apply_all(self, txns: list[Transaction]) -> list[int]:
+        """Apply transactions in order; returns all observed read values."""
+        observed = []
+        for txn in txns:
+            observed.extend(self.apply_transaction(txn))
+        return observed
+
+    def column_sum(self, query: AnalyticsQuery) -> int:
+        """The analytics answer: sum of the queried columns."""
+        total = 0
+        for field in query.fields:
+            self.schema.validate_field(field)
+            total += sum(row[field] for row in self.rows)
+        return total
+
+    def snapshot(self) -> list[list[int]]:
+        """Deep copy of the current contents."""
+        return [list(row) for row in self.rows]

@@ -1,0 +1,149 @@
+"""Workload generators for the database evaluation (Section 5.1).
+
+Three workload families, matching the paper:
+
+- **Transactions**: each transaction touches one randomly-chosen tuple,
+  reading ``i`` fields, writing ``j`` fields, and reading+writing ``k``
+  fields (the x-axis labels of Figure 9 are "i-j-k").
+- **Analytics**: sum ``k`` full columns of the table (Figure 10 uses
+  k = 1 and k = 2).
+- **HTAP**: one analytics thread plus one transactions thread running
+  concurrently on the same table (Figure 11; transactions use one
+  read-only and one write-only field).
+
+Workloads are layout-independent *specifications*; the layouts in
+:mod:`repro.db.layouts` translate them into instruction streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db.schema import TableSchema
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class FieldOp:
+    """One field access within a transaction."""
+
+    field: int
+    write: bool
+    value: int = 0  # value stored when write is True
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One transaction: an ordered list of field accesses to one tuple."""
+
+    tuple_id: int
+    ops: tuple[FieldOp, ...]
+
+    @property
+    def fields_touched(self) -> int:
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """The paper's i-j-k workload label."""
+
+    read_only: int
+    write_only: int
+    read_write: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.read_only}-{self.write_only}-{self.read_write}"
+
+    @property
+    def total_fields(self) -> int:
+        return self.read_only + self.write_only + self.read_write
+
+
+#: The eight mixes on Figure 9's x-axis, sorted by total fields accessed.
+FIGURE9_MIXES = (
+    TransactionMix(1, 0, 1),
+    TransactionMix(2, 1, 0),
+    TransactionMix(0, 2, 2),
+    TransactionMix(2, 4, 0),
+    TransactionMix(5, 0, 1),
+    TransactionMix(2, 0, 4),
+    TransactionMix(6, 1, 0),
+    TransactionMix(4, 2, 2),
+)
+
+
+def generate_transactions(
+    schema: TableSchema,
+    num_tuples: int,
+    mix: TransactionMix,
+    count: int,
+    seed: int = 42,
+) -> list[Transaction]:
+    """Deterministic transaction stream for one i-j-k mix.
+
+    Each transaction picks a random tuple and ``i + j + k`` distinct
+    random fields; read-write fields produce a read op followed by a
+    write op (a read-modify-write).
+    """
+    if mix.total_fields > schema.num_fields:
+        raise WorkloadError(
+            f"mix {mix.label} touches {mix.total_fields} fields, "
+            f"schema has {schema.num_fields}"
+        )
+    rng = random.Random(seed)
+    transactions = []
+    for txn_index in range(count):
+        tuple_id = rng.randrange(num_tuples)
+        fields = rng.sample(range(schema.num_fields), mix.total_fields)
+        ops: list[FieldOp] = []
+        cursor = 0
+        for _ in range(mix.read_only):
+            ops.append(FieldOp(fields[cursor], write=False))
+            cursor += 1
+        for _ in range(mix.write_only):
+            ops.append(FieldOp(fields[cursor], write=True, value=rng.randrange(1 << 40)))
+            cursor += 1
+        for _ in range(mix.read_write):
+            f = fields[cursor]
+            ops.append(FieldOp(f, write=False))
+            ops.append(FieldOp(f, write=True, value=rng.randrange(1 << 40)))
+            cursor += 1
+        transactions.append(Transaction(tuple_id=tuple_id, ops=tuple(ops)))
+    return transactions
+
+
+@dataclass(frozen=True)
+class AnalyticsQuery:
+    """Sum one or more full columns."""
+
+    fields: tuple[int, ...]
+
+    @property
+    def label(self) -> str:
+        n = len(self.fields)
+        return f"{n} Column" + ("s" if n != 1 else "")
+
+
+@dataclass(frozen=True)
+class HTAPWorkload:
+    """Figure 11: analytics on one column + open-ended transactions.
+
+    The transaction thread reads one field and writes another
+    (mix 1-1-0), running until the analytics thread completes.
+    """
+
+    analytics: AnalyticsQuery = field(default_factory=lambda: AnalyticsQuery((0,)))
+    txn_mix: TransactionMix = field(default_factory=lambda: TransactionMix(1, 1, 0))
+    txn_seed: int = 7
+
+
+def make_rows(schema: TableSchema, num_tuples: int, seed: int = 1) -> list[list[int]]:
+    """Deterministic table contents (the functional oracle's source)."""
+    rng = random.Random(seed)
+    return [
+        [rng.randrange(1 << 32) for _ in range(schema.num_fields)]
+        for _ in range(num_tuples)
+    ]

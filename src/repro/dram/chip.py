@@ -1,0 +1,76 @@
+"""Functional model of a single DRAM chip.
+
+A chip stores, for every (bank, row), a row of columns; each column is
+``column_bytes`` wide (8 bytes for a x8 chip bursting 8 beats — the
+chip's share of one 64-byte cache line). Rows are allocated lazily and
+zero-filled, matching the simulator convention that untouched memory
+reads as zeros.
+
+The chip is purely functional: all timing lives in
+:class:`repro.dram.bank.Bank` and the memory controller.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+
+
+class Chip:
+    """One DRAM chip: lazily-allocated (bank, row) -> bytearray storage."""
+
+    def __init__(
+        self,
+        chip_id: int,
+        banks: int,
+        rows_per_bank: int,
+        columns_per_row: int,
+        column_bytes: int = 8,
+    ) -> None:
+        self.chip_id = chip_id
+        self.banks = banks
+        self.rows_per_bank = rows_per_bank
+        self.columns_per_row = columns_per_row
+        self.column_bytes = column_bytes
+        self._rows: dict[tuple[int, int], bytearray] = {}
+
+    def _check(self, bank: int, row: int, column: int) -> None:
+        if not 0 <= bank < self.banks:
+            raise AddressError(f"chip {self.chip_id}: bank {bank} out of range")
+        if not 0 <= row < self.rows_per_bank:
+            raise AddressError(f"chip {self.chip_id}: row {row} out of range")
+        if not 0 <= column < self.columns_per_row:
+            raise AddressError(f"chip {self.chip_id}: column {column} out of range")
+
+    def _row(self, bank: int, row: int) -> bytearray:
+        key = (bank, row)
+        data = self._rows.get(key)
+        if data is None:
+            data = bytearray(self.columns_per_row * self.column_bytes)
+            self._rows[key] = data
+        return data
+
+    def read_column(self, bank: int, row: int, column: int) -> bytes:
+        """Return the ``column_bytes`` stored at (bank, row, column)."""
+        self._check(bank, row, column)
+        data = self._rows.get((bank, row))
+        if data is None:
+            return bytes(self.column_bytes)
+        start = column * self.column_bytes
+        return bytes(data[start : start + self.column_bytes])
+
+    def write_column(self, bank: int, row: int, column: int, value: bytes) -> None:
+        """Store ``value`` (exactly ``column_bytes`` long) at the column."""
+        self._check(bank, row, column)
+        if len(value) != self.column_bytes:
+            raise AddressError(
+                f"chip {self.chip_id}: write of {len(value)} bytes, "
+                f"column width is {self.column_bytes}"
+            )
+        data = self._row(bank, row)
+        start = column * self.column_bytes
+        data[start : start + self.column_bytes] = value
+
+    @property
+    def allocated_rows(self) -> int:
+        """Number of rows touched so far (memory-footprint introspection)."""
+        return len(self._rows)

@@ -1,0 +1,71 @@
+"""DRAM command types.
+
+The controller drives banks with the standard DDR command set. Commands
+are plain frozen dataclasses so they can be logged, counted by the
+energy model, and replayed in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CommandKind(enum.Enum):
+    """The DDR command vocabulary used by this model."""
+
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    REFRESH = "REF"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command as issued on the command/address bus.
+
+    ``pattern`` is the GS-DRAM pattern ID riding on the spare column
+    address pins (Section 3.6); it is 0 for conventional accesses and is
+    ignored by plain (non-GS) modules.
+    """
+
+    kind: CommandKind
+    bank: int
+    row: int = 0
+    column: int = 0
+    pattern: int = 0
+
+    def __str__(self) -> str:
+        if self.kind is CommandKind.ACTIVATE:
+            return f"ACT(b{self.bank}, r{self.row})"
+        if self.kind is CommandKind.PRECHARGE:
+            return f"PRE(b{self.bank})"
+        if self.kind is CommandKind.REFRESH:
+            return "REF"
+        return f"{self.kind.value}(b{self.bank}, c{self.column}, p{self.pattern})"
+
+
+def activate(bank: int, row: int) -> Command:
+    """ACTIVATE: open ``row`` in ``bank`` (copy it into the row buffer)."""
+    return Command(CommandKind.ACTIVATE, bank=bank, row=row)
+
+
+def precharge(bank: int) -> Command:
+    """PRECHARGE: close the open row in ``bank``."""
+    return Command(CommandKind.PRECHARGE, bank=bank)
+
+
+def read(bank: int, column: int, pattern: int = 0) -> Command:
+    """READ: burst one cache line from the open row at ``column``."""
+    return Command(CommandKind.READ, bank=bank, column=column, pattern=pattern)
+
+
+def write(bank: int, column: int, pattern: int = 0) -> Command:
+    """WRITE: burst one cache line into the open row at ``column``."""
+    return Command(CommandKind.WRITE, bank=bank, column=column, pattern=pattern)
+
+
+def refresh() -> Command:
+    """REFRESH: all-bank refresh (banks must be precharged)."""
+    return Command(CommandKind.REFRESH, bank=-1)

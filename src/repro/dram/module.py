@@ -1,0 +1,102 @@
+"""A complete DRAM module: functional rank + per-bank timing state.
+
+The module is the unit the memory controller talks to. It bundles the
+functional storage (:class:`~repro.dram.rank.Rank`), per-bank timing
+state machines, and the address mapping. Subclasses swap in a GS-DRAM
+rank (see :class:`repro.core.module.GSModule`) without touching the
+controller.
+"""
+
+from __future__ import annotations
+
+from repro.dram.address import AddressMapping, DecodedAddress, Geometry, MappingPolicy
+from repro.dram.bank import Bank
+from repro.dram.rank import Rank
+from repro.dram.timing import DEFAULT_CPU_PER_BUS, DRAMTiming, ddr3_1600
+from repro.errors import AddressError
+
+
+class DRAMModule:
+    """A single-rank DRAM module (the paper: 1 channel, 1 rank, 8 banks)."""
+
+    def __init__(
+        self,
+        geometry: Geometry | None = None,
+        timing: DRAMTiming | None = None,
+        cpu_per_bus: int = DEFAULT_CPU_PER_BUS,
+        policy: MappingPolicy = MappingPolicy.ROW_BANK_COLUMN,
+    ) -> None:
+        self.geometry = geometry or Geometry()
+        bus_timing = timing or ddr3_1600()
+        self.timing = bus_timing.scaled(cpu_per_bus)
+        self.cpu_per_bus = cpu_per_bus
+        self.mapping = AddressMapping(self.geometry, policy)
+        self.rank = self._build_rank()
+        self.banks = [Bank(i, self.timing) for i in range(self.geometry.banks)]
+
+    def _build_rank(self) -> Rank:
+        """Construct the functional rank; the GS module overrides this."""
+        g = self.geometry
+        return Rank(g.chips, g.banks, g.rows_per_bank, g.columns_per_row, g.column_bytes)
+
+    @property
+    def line_bytes(self) -> int:
+        return self.geometry.line_bytes
+
+    @property
+    def supports_patterns(self) -> bool:
+        """Whether non-zero pattern IDs are honoured (False for plain DRAM)."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Functional access (timing-free), used by loaders and tests
+    # ------------------------------------------------------------------
+    def decode(self, address: int) -> DecodedAddress:
+        return self.mapping.decode(address)
+
+    def read_line(self, address: int, pattern: int = 0, shuffled: bool = False) -> bytes:
+        """Functionally read the line containing ``address``.
+
+        ``shuffled`` is accepted for interface compatibility with the GS
+        module and ignored (plain DRAM has no shuffle network).
+        """
+        loc = self.mapping.decode(address)
+        if loc.offset != 0:
+            raise AddressError(f"line read of unaligned address {address:#x}")
+        return self.rank.read_line(loc.bank, loc.row, loc.column, pattern)
+
+    def write_line(
+        self, address: int, data: bytes, pattern: int = 0, shuffled: bool = False
+    ) -> None:
+        """Functionally write the line containing ``address``."""
+        loc = self.mapping.decode(address)
+        if loc.offset != 0:
+            raise AddressError(f"line write of unaligned address {address:#x}")
+        self.rank.write_line(loc.bank, loc.row, loc.column, data, pattern)
+
+    # Byte-granularity convenience for loaders (read-modify-write).
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address`` (may span lines)."""
+        out = bytearray()
+        line_bytes = self.line_bytes
+        while length > 0:
+            base = self.mapping.line_address(address)
+            offset = address - base
+            take = min(length, line_bytes - offset)
+            out += self.read_line(base)[offset : offset + take]
+            address += take
+            length -= take
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address`` (may span lines)."""
+        line_bytes = self.line_bytes
+        position = 0
+        while position < len(data):
+            base = self.mapping.line_address(address + position)
+            offset = (address + position) - base
+            take = min(len(data) - position, line_bytes - offset)
+            line = bytearray(self.read_line(base))
+            line[offset : offset + take] = data[position : position + take]
+            self.write_line(base, bytes(line))
+            position += take

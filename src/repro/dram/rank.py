@@ -1,0 +1,90 @@
+"""A DRAM rank: a group of chips sharing command/address buses.
+
+All chips in a rank decode every command in lockstep (Section 2 of the
+paper); each contributes ``column_bytes`` to every cache line. The base
+:class:`Rank` implements the conventional behaviour where every chip
+accesses the *same* column. GS-DRAM overrides exactly one seam —
+:meth:`Rank.chip_column` — to insert the per-chip column translation
+logic (see :mod:`repro.core.module`).
+"""
+
+from __future__ import annotations
+
+from repro.dram.chip import Chip
+from repro.errors import AddressError, ConfigError
+from repro.utils.bitops import is_power_of_two
+
+
+class Rank:
+    """A lockstep group of chips forming one data word per column access."""
+
+    def __init__(
+        self,
+        chips: int,
+        banks: int,
+        rows_per_bank: int,
+        columns_per_row: int,
+        column_bytes: int = 8,
+    ) -> None:
+        if not is_power_of_two(chips):
+            raise ConfigError(f"chip count must be a power of two, got {chips}")
+        self.num_chips = chips
+        self.banks = banks
+        self.rows_per_bank = rows_per_bank
+        self.columns_per_row = columns_per_row
+        self.column_bytes = column_bytes
+        self.chips = [
+            Chip(i, banks, rows_per_bank, columns_per_row, column_bytes)
+            for i in range(chips)
+        ]
+
+    @property
+    def line_bytes(self) -> int:
+        """Bytes delivered per column command (the cache line size)."""
+        return self.num_chips * self.column_bytes
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per DRAM row across the whole rank."""
+        return self.columns_per_row * self.line_bytes
+
+    # ------------------------------------------------------------------
+    # The GS-DRAM seam
+    # ------------------------------------------------------------------
+    def chip_column(self, chip_id: int, column: int, pattern: int) -> int:
+        """Column accessed by ``chip_id`` for an issued ``column``.
+
+        Conventional DRAM ignores the pattern ID: every chip accesses
+        the issued column. GS-DRAM's module overrides this with the CTL.
+        """
+        if pattern != 0:
+            raise AddressError(
+                "plain DRAM rank cannot honour a non-zero pattern ID "
+                f"(got pattern {pattern}); use a GSRank"
+            )
+        return column
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def read_line(self, bank: int, row: int, column: int, pattern: int = 0) -> bytes:
+        """Read one line: chip ``i`` supplies byte lanes ``i*w..(i+1)*w``."""
+        parts = []
+        for chip in self.chips:
+            chip_col = self.chip_column(chip.chip_id, column, pattern)
+            parts.append(chip.read_column(bank, row, chip_col))
+        return b"".join(parts)
+
+    def write_line(
+        self, bank: int, row: int, column: int, data: bytes, pattern: int = 0
+    ) -> None:
+        """Write one line: chip ``i`` absorbs byte lanes ``i*w..(i+1)*w``."""
+        if len(data) != self.line_bytes:
+            raise AddressError(
+                f"line write of {len(data)} bytes, rank line size is {self.line_bytes}"
+            )
+        width = self.column_bytes
+        for chip in self.chips:
+            chip_col = self.chip_column(chip.chip_id, column, pattern)
+            lane = data[chip.chip_id * width : (chip.chip_id + 1) * width]
+            chip.write_column(bank, row, chip_col, lane)

@@ -1,0 +1,130 @@
+"""DRAM timing parameter sets.
+
+Parameters are expressed in *memory bus clock* cycles and converted to
+CPU cycles once, when a simulation is configured, so the event engine
+runs on a single clock domain (the paper's 4 GHz core clock).
+
+Values for DDR3-1600 follow the JEDEC 11-11-11 speed bin that the
+paper's Gem5 configuration uses; DDR4-2400 is provided for the Section
+3.6 discussion (spare pins) and for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing constraints, all in cycles of a single clock domain.
+
+    Attributes mirror the JEDEC names:
+
+    - ``cl``: CAS latency, READ command to first data beat.
+    - ``cwl``: CAS write latency, WRITE command to first data beat.
+    - ``t_rcd``: ACTIVATE to READ/WRITE.
+    - ``t_rp``: PRECHARGE to ACTIVATE.
+    - ``t_ras``: ACTIVATE to PRECHARGE (same bank).
+    - ``t_rc``: ACTIVATE to ACTIVATE (same bank).
+    - ``t_bl``: data burst length on the bus (BL8 = 4 bus cycles, DDR).
+    - ``t_ccd``: column command to column command.
+    - ``t_rrd``: ACTIVATE to ACTIVATE (different banks).
+    - ``t_wr``: end of write burst to PRECHARGE (write recovery).
+    - ``t_wtr``: end of write burst to READ.
+    - ``t_rtp``: READ to PRECHARGE.
+    - ``t_faw``: four-activate window (rolling limit on ACTs per rank).
+    - ``t_rfc``: REFRESH duration.
+    - ``t_refi``: average refresh interval.
+    """
+
+    cl: int
+    cwl: int
+    t_rcd: int
+    t_rp: int
+    t_ras: int
+    t_rc: int
+    t_bl: int
+    t_ccd: int
+    t_rrd: int
+    t_wr: int
+    t_wtr: int
+    t_rtp: int
+    t_faw: int
+    t_rfc: int
+    t_refi: int
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) <= 0:
+                raise ConfigError(f"timing parameter {f.name} must be positive")
+        if self.t_rc < self.t_ras + self.t_rp:
+            raise ConfigError("t_rc must cover t_ras + t_rp")
+
+    def scaled(self, cpu_cycles_per_bus_cycle: int) -> "DRAMTiming":
+        """Return this timing set converted to CPU cycles."""
+        if cpu_cycles_per_bus_cycle < 1:
+            raise ConfigError("cpu_cycles_per_bus_cycle must be >= 1")
+        scaled_values = {
+            f.name: getattr(self, f.name) * cpu_cycles_per_bus_cycle
+            for f in fields(self)
+        }
+        return replace(self, **scaled_values)
+
+    @property
+    def row_miss_penalty(self) -> int:
+        """PRE + ACT + READ-to-data: latency of a row-buffer miss."""
+        return self.t_rp + self.t_rcd + self.cl
+
+    @property
+    def row_hit_latency(self) -> int:
+        """READ-to-data latency when the row is already open."""
+        return self.cl
+
+
+def ddr3_1600() -> DRAMTiming:
+    """DDR3-1600 (11-11-11), in 800 MHz bus cycles. Used in Table 1."""
+    return DRAMTiming(
+        cl=11,
+        cwl=8,
+        t_rcd=11,
+        t_rp=11,
+        t_ras=28,
+        t_rc=39,
+        t_bl=4,
+        t_ccd=4,
+        t_rrd=5,
+        t_wr=12,
+        t_wtr=6,
+        t_rtp=6,
+        t_faw=24,
+        t_rfc=208,
+        t_refi=6240,
+    )
+
+
+def ddr4_2400() -> DRAMTiming:
+    """DDR4-2400 (17-17-17), in 1200 MHz bus cycles (sensitivity option)."""
+    return DRAMTiming(
+        cl=17,
+        cwl=12,
+        t_rcd=17,
+        t_rp=17,
+        t_ras=39,
+        t_rc=56,
+        t_bl=4,
+        t_ccd=4,
+        t_rrd=6,
+        t_wr=18,
+        t_wtr=9,
+        t_rtp=9,
+        t_faw=26,
+        t_rfc=313,
+        t_refi=9360,
+    )
+
+
+#: CPU cycles per memory bus cycle for the paper's configuration:
+#: 4 GHz core, 800 MHz DDR3-1600 bus.
+DEFAULT_CPU_PER_BUS = 5

@@ -1,0 +1,26 @@
+"""Energy models: DRAMPower-style DRAM + McPAT-style processor."""
+
+from repro.energy.cpu_power import CPUEnergy, CPUPowerParams, cpu_energy
+from repro.energy.dram_power import (
+    CommandEnergies,
+    DDRCurrents,
+    DRAMEnergy,
+    ddr3_1600_currents,
+    derive_command_energies,
+    dram_energy,
+)
+from repro.energy.model import EnergyBreakdown, system_energy
+
+__all__ = [
+    "CPUEnergy",
+    "CPUPowerParams",
+    "CommandEnergies",
+    "DDRCurrents",
+    "DRAMEnergy",
+    "EnergyBreakdown",
+    "cpu_energy",
+    "ddr3_1600_currents",
+    "derive_command_energies",
+    "dram_energy",
+    "system_energy",
+]

@@ -1,0 +1,60 @@
+"""McPAT-style processor energy model.
+
+The paper estimates processor energy with McPAT. McPAT's output for a
+fixed core configuration decomposes into static power (leakage + clock,
+proportional to runtime) and per-event dynamic energy (instructions and
+cache accesses). We use that same linear decomposition with constants
+in the range McPAT reports for a small in-order x86 core at 4 GHz.
+
+As with the DRAM model, absolute joules are approximate; inter-
+mechanism *ratios* (Figure 12b) are driven by runtime and access
+counts, which the simulator measures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUPowerParams:
+    """Linear energy coefficients for the core + cache hierarchy."""
+
+    static_w_per_core: float = 1.2
+    instruction_nj: float = 0.15
+    l1_access_nj: float = 0.10
+    l2_access_nj: float = 0.60
+
+
+@dataclass
+class CPUEnergy:
+    """Processor-side energy tally for one run, in millijoules."""
+
+    static_mj: float
+    dynamic_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.static_mj + self.dynamic_mj
+
+
+def cpu_energy(
+    runtime_cycles: int,
+    instructions: int,
+    l1_accesses: int,
+    l2_accesses: int,
+    cores: int = 1,
+    cpu_ghz: float = 4.0,
+    params: CPUPowerParams | None = None,
+) -> CPUEnergy:
+    """Energy for one run from runtime and event counts."""
+    if params is None:
+        params = CPUPowerParams()
+    runtime_s = runtime_cycles / (cpu_ghz * 1e9)
+    static_mj = params.static_w_per_core * cores * runtime_s * 1e3
+    dynamic_nj = (
+        instructions * params.instruction_nj
+        + l1_accesses * params.l1_access_nj
+        + l2_accesses * params.l2_access_nj
+    )
+    return CPUEnergy(static_mj=static_mj, dynamic_mj=dynamic_nj * 1e-6)

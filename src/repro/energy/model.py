@@ -1,0 +1,55 @@
+"""Combined system energy accounting (processor + DRAM).
+
+Ties the McPAT-style CPU model and the DRAMPower-style DRAM model
+together into one :class:`EnergyBreakdown` per run, mirroring how the
+paper reports Figure 12b ("processor and DRAM energy consumption").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.cpu_power import CPUEnergy, CPUPowerParams, cpu_energy
+from repro.energy.dram_power import CommandEnergies, DRAMEnergy, dram_energy
+
+
+@dataclass
+class EnergyBreakdown:
+    """Full-system energy for one run, in millijoules."""
+
+    cpu: CPUEnergy
+    dram: DRAMEnergy
+
+    @property
+    def total_mj(self) -> float:
+        return self.cpu.total_mj + self.dram.total_mj
+
+    def render(self) -> str:
+        return (
+            f"total {self.total_mj:.3f} mJ "
+            f"(cpu static {self.cpu.static_mj:.3f} + cpu dynamic "
+            f"{self.cpu.dynamic_mj:.3f} + dram dynamic {self.dram.dynamic_mj:.3f}"
+            f" + dram background {self.dram.background_mj:.3f})"
+        )
+
+
+def system_energy(
+    runtime_cycles: int,
+    instructions: int,
+    l1_accesses: int,
+    l2_accesses: int,
+    command_counts: dict[str, int],
+    cores: int = 1,
+    cpu_ghz: float = 4.0,
+    cpu_params: CPUPowerParams | None = None,
+    dram_energies: CommandEnergies | None = None,
+) -> EnergyBreakdown:
+    """Compute the full-system energy breakdown for one run."""
+    cpu = cpu_energy(
+        runtime_cycles, instructions, l1_accesses, l2_accesses,
+        cores=cores, cpu_ghz=cpu_ghz, params=cpu_params,
+    )
+    dram = dram_energy(
+        command_counts, runtime_cycles, cpu_ghz=cpu_ghz, energies=dram_energies
+    )
+    return EnergyBreakdown(cpu=cpu, dram=dram)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the GS-DRAM reproduction.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library errors with a single
+``except`` clause without swallowing genuine programming errors
+(``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AddressError(ReproError):
+    """A physical or DRAM-geometry address is out of range or misaligned."""
+
+
+class PatternError(ReproError):
+    """A pattern ID is invalid for the configured GS-DRAM geometry."""
+
+
+class ProtocolError(ReproError):
+    """A DRAM command was issued in an illegal bank state.
+
+    The bank state machines in :mod:`repro.dram.bank` enforce the legal
+    command sequences (e.g. a ``READ`` requires an open row); violating
+    them indicates a controller bug, and is reported with this error
+    rather than silently producing wrong timing.
+    """
+
+
+class CoherenceError(ReproError):
+    """The pattern-overlap coherence protocol was violated."""
+
+
+class AllocationError(ReproError):
+    """``pattmalloc`` could not satisfy an allocation request."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload/query specification is invalid for the given schema."""

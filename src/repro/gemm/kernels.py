@@ -1,0 +1,191 @@
+"""GEMM kernels as instruction streams (paper Section 5.2).
+
+Three kernels compute C = A x B over int64 matrices:
+
+- :func:`naive_ops` — non-tiled scalar triple loop; B is accessed in
+  column-major order with terrible spatial locality (the paper's
+  normalisation baseline).
+- :func:`tiled_ops` — blocked/tiled with SIMD dot products. Because B's
+  column values sit in different cache lines, each SIMD multiply-add
+  needs a *software gather*: W scalar loads plus a pack instruction to
+  assemble the SIMD register (exactly the overhead the paper calls
+  out).
+- :func:`gs_ops` — the same tiling, but B lives in GS-DRAM with
+  pattern-7 gathers: one ``pattload`` (16 bytes of a gathered line)
+  replaces the W scalar loads + pack, "seamlessly enabling SIMD".
+
+SIMD registers are 16 bytes (two int64 lanes), matching the paper's
+``xmm0`` pattload target.
+
+The generators accumulate real loaded values, so every kernel's output
+is verified against ``A @ B``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+import numpy as np
+
+from repro.cpu.isa import Compute, Load, Store, pattload
+from repro.errors import WorkloadError
+from repro.gemm.matrix import BLOCK, BlockedMatrix, DenseMatrix
+
+#: SIMD lanes per register (16-byte xmm / 8-byte int64).
+W = 2
+#: Loop bookkeeping cost charged once per (i, j) accumulator, cycles.
+LOOP_OVERHEAD = 2
+
+_PC_NAIVE_A, _PC_NAIVE_B = 0x4000, 0x4001
+_PC_TILED_A, _PC_TILED_B0, _PC_TILED_B1 = 0x4100, 0x4101, 0x4102
+_PC_GS_A, _PC_GS_B = 0x4200, 0x4201
+
+
+def _i64(data: bytes) -> int:
+    return struct.unpack("<q", data)[0]
+
+
+def _i64x2(data: bytes) -> tuple[int, int]:
+    return struct.unpack("<2q", data)
+
+
+def naive_ops(
+    a: DenseMatrix, b: DenseMatrix, c: DenseMatrix, result: np.ndarray
+) -> Iterator:
+    """Non-tiled scalar GEMM; fills ``result`` with the computed product."""
+    n = a.n
+    a_reg = [0]
+    b_reg = [0]
+
+    def set_a(data: bytes) -> None:
+        a_reg[0] = _i64(data)
+
+    def set_b(data: bytes) -> None:
+        b_reg[0] = _i64(data)
+
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            yield Compute(LOOP_OVERHEAD)
+            for k in range(n):
+                yield Load(a.address(i, k), pc=_PC_NAIVE_A, on_value=set_a)
+                yield Load(b.address(k, j), pc=_PC_NAIVE_B, on_value=set_b)
+                yield Compute(1)  # multiply-accumulate
+                acc += a_reg[0] * b_reg[0]
+            result[i, j] = acc
+            yield Store(c.address(i, j), struct.pack("<q", acc))
+
+
+def _check_tile(n: int, tile: int) -> None:
+    if tile % BLOCK != 0 or n % tile != 0:
+        raise WorkloadError(
+            f"tile {tile} must be a multiple of {BLOCK} and divide n={n}"
+        )
+
+
+def tiled_ops(
+    a: DenseMatrix,
+    b: BlockedMatrix,
+    c: DenseMatrix,
+    result: np.ndarray,
+    tile: int,
+) -> Iterator:
+    """Tiled SIMD GEMM with software gathers for B's columns."""
+    n = a.n
+    _check_tile(n, tile)
+    a_reg = [0, 0]
+    b_reg = [0, 0]
+
+    def set_a(data: bytes) -> None:
+        a_reg[0], a_reg[1] = _i64x2(data)
+
+    def set_b0(data: bytes) -> None:
+        b_reg[0] = _i64(data)
+
+    def set_b1(data: bytes) -> None:
+        b_reg[1] = _i64(data)
+
+    for it in range(0, n, tile):
+        for jt in range(0, n, tile):
+            for kt in range(0, n, tile):
+                first = kt == 0
+                for i in range(it, it + tile):
+                    for j in range(jt, jt + tile):
+                        acc = 0 if first else int(result[i, j])
+                        if not first:
+                            # Reload the partial sum written by the
+                            # previous kt pass.
+                            yield Load(c.address(i, j), pc=_PC_TILED_A + 8)
+                        yield Compute(LOOP_OVERHEAD)
+                        for k in range(kt, kt + tile, W):
+                            # xmm load of A[i, k..k+1] (contiguous).
+                            yield Load(a.address(i, k), size=16,
+                                       pc=_PC_TILED_A, on_value=set_a)
+                            # Software gather: two scalar loads + pack.
+                            yield Load(b.address(k, j),
+                                       pc=_PC_TILED_B0, on_value=set_b0)
+                            yield Load(b.address(k + 1, j),
+                                       pc=_PC_TILED_B1, on_value=set_b1)
+                            yield Compute(1)  # pack into the SIMD register
+                            yield Compute(1)  # SIMD multiply-accumulate
+                            acc += a_reg[0] * b_reg[0] + a_reg[1] * b_reg[1]
+                        result[i, j] = acc
+                        yield Store(c.address(i, j), struct.pack("<q", acc))
+
+
+def gs_ops(
+    a: DenseMatrix,
+    b: BlockedMatrix,
+    c: DenseMatrix,
+    result: np.ndarray,
+    tile: int,
+) -> Iterator:
+    """Tiled SIMD GEMM with GS-DRAM gathers for B's columns.
+
+    B's 8x8 blocks are read column-wise with pattern 7: one gathered
+    cache line holds a whole block column, and each ``pattload`` brings
+    two of its values straight into the SIMD register — no software
+    gather.
+    """
+    n = a.n
+    _check_tile(n, tile)
+    if not b.gs:
+        raise WorkloadError("gs_ops needs a GS-allocated blocked matrix")
+    a_reg = [0, 0]
+    b_reg = [0, 0]
+
+    def set_a(data: bytes) -> None:
+        a_reg[0], a_reg[1] = _i64x2(data)
+
+    def set_b(data: bytes) -> None:
+        b_reg[0], b_reg[1] = _i64x2(data)
+
+    pattern = b.pattern
+    for it in range(0, n, tile):
+        for jt in range(0, n, tile):
+            for kt in range(0, n, tile):
+                first = kt == 0
+                for i in range(it, it + tile):
+                    for j in range(jt, jt + tile):
+                        acc = 0 if first else int(result[i, j])
+                        if not first:
+                            yield Load(c.address(i, j), pc=_PC_GS_A + 8)
+                        yield Compute(LOOP_OVERHEAD)
+                        block_col, col_in_block = divmod(j, BLOCK)
+                        for kb in range(kt, kt + tile, BLOCK):
+                            block_row = kb // BLOCK
+                            for pos in range(0, BLOCK, W):
+                                yield Load(a.address(i, kb + pos), size=16,
+                                           pc=_PC_GS_A, on_value=set_a)
+                                yield pattload(
+                                    b.gather_address(block_row, block_col,
+                                                     col_in_block, pos),
+                                    pattern=pattern, size=16,
+                                    pc=_PC_GS_B, on_value=set_b,
+                                )
+                                yield Compute(1)  # SIMD multiply-accumulate
+                                acc += (a_reg[0] * b_reg[0]
+                                        + a_reg[1] * b_reg[1])
+                        result[i, j] = acc
+                        yield Store(c.address(i, j), struct.pack("<q", acc))

@@ -1,0 +1,29 @@
+"""Graph-processing application (paper Section 5.3)."""
+
+from repro.graph.algorithms import (
+    UNREACHED,
+    bfs_ops,
+    field_analytics_ops,
+    initialise_records,
+    vertex_update_ops,
+)
+from repro.graph.storage import (
+    FIELD_DEGREE,
+    FIELD_LABEL,
+    FIELD_LEVEL,
+    FIELD_VALUE,
+    GraphStore,
+)
+
+__all__ = [
+    "FIELD_DEGREE",
+    "FIELD_LABEL",
+    "FIELD_LEVEL",
+    "FIELD_VALUE",
+    "GraphStore",
+    "UNREACHED",
+    "bfs_ops",
+    "field_analytics_ops",
+    "initialise_records",
+    "vertex_update_ops",
+]

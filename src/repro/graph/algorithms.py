@@ -1,0 +1,104 @@
+"""Graph algorithms as instruction streams (paper Section 5.3).
+
+Three kernels over a :class:`~repro.graph.storage.GraphStore`, covering
+the two access-pattern families the paper contrasts:
+
+- :func:`field_analytics_ops` — whole-graph field aggregation (degree
+  sum, label histogram): pure field scans, where GS-DRAM's gathers cut
+  line traffic 8x versus a record layout.
+- :func:`bfs_ops` — breadth-first traversal writing the ``level``
+  field: per-vertex record accesses (pattern 0) plus irregular edge
+  reads; GS-DRAM neither helps nor hurts, matching the record layout.
+- :func:`vertex_update_ops` — transactional touch of whole records.
+
+Functional results are captured in plain Python structures so tests can
+verify against networkx.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Iterator
+
+from repro.cpu.isa import Compute
+from repro.graph.storage import (
+    FIELD_DEGREE,
+    FIELD_LABEL,
+    FIELD_LEVEL,
+    FIELD_VALUE,
+    FIELDS,
+    GraphStore,
+)
+
+#: Level value meaning "not reached" in BFS.
+UNREACHED = (1 << 40) - 1
+
+
+def initialise_records(store: GraphStore, labels: list[int]) -> None:
+    """Functionally populate vertex records (value, degree, level, label)."""
+    records = []
+    for vertex in range(store.num_vertices):
+        degree = store.offsets[vertex + 1] - store.offsets[vertex]
+        record = [0] * FIELDS
+        record[FIELD_VALUE] = vertex
+        record[FIELD_DEGREE] = degree
+        record[FIELD_LEVEL] = UNREACHED
+        record[FIELD_LABEL] = labels[vertex]
+        records.append(record)
+    store.load_records(records)
+
+
+def field_analytics_ops(store: GraphStore, result: dict) -> Iterator:
+    """Degree sum + label histogram via field scans.
+
+    Fills ``result['degree_sum']`` and ``result['label_counts']``.
+    """
+    result["degree_sum"] = 0
+    result["label_counts"] = Counter()
+
+    def add_degree(value: int) -> None:
+        result["degree_sum"] += value
+
+    def add_label(value: int) -> None:
+        result["label_counts"][value] += 1
+
+    yield from store.scan_field_ops(FIELD_DEGREE, add_degree)
+    yield from store.scan_field_ops(FIELD_LABEL, add_label)
+
+
+def bfs_ops(store: GraphStore, source: int, levels: dict[int, int]) -> Iterator:
+    """Breadth-first search from ``source``; stores levels into memory
+    (the ``level`` field) and mirrors them into ``levels``."""
+    seen = {source}
+    levels[source] = 0
+    yield store.store_field_op(source, FIELD_LEVEL, 0)
+    frontier = deque([source])
+    while frontier:
+        vertex = frontier.popleft()
+        level = levels[vertex]
+        neighbours: list[int] = []
+        yield from store.edge_ops(vertex, neighbours.append)
+        yield Compute(2)  # queue bookkeeping
+        for target in neighbours:
+            if target in seen:
+                continue
+            seen.add(target)
+            levels[target] = level + 1
+            yield store.store_field_op(target, FIELD_LEVEL, level + 1)
+            frontier.append(target)
+
+
+def vertex_update_ops(store: GraphStore, vertices: list[int],
+                      delta: int) -> Iterator:
+    """Read-modify-write the ``value`` field of selected vertices.
+
+    A per-vertex (transactional) access pattern: each update touches one
+    record cache line with pattern 0.
+    """
+    for vertex in vertices:
+        box: list[int] = []
+        yield store.load_field_op(vertex, FIELD_VALUE, box.append)
+        yield Compute(1)
+        # The generator resumes after the load's value has arrived, so
+        # the read-modify-write below uses the freshly loaded value.
+        yield store.store_field_op(vertex, FIELD_VALUE, box[0] + delta)

@@ -1,0 +1,164 @@
+"""Graph storage over GS-DRAM (paper Section 5.3).
+
+The paper's graph-processing use case: "operations that update
+individual nodes in the graph have different access patterns than
+those that traverse the graph". We model that with a vertex table and
+a CSR edge structure:
+
+- **vertex table** — one 64-byte record per vertex (eight 8-byte
+  fields), stored row-store style with ``pattmalloc(shuffle, pattern
+  7)``. Per-vertex operations (updates, BFS bookkeeping) touch whole
+  records with pattern 0; whole-graph *field* analytics (degree sums,
+  label counts, rank aggregation) gather one field of eight vertices
+  per cache line with pattern 7.
+- **CSR edges** — offsets + targets arrays, plain allocation (edge
+  traversal is inherently irregular; GS-DRAM neither helps nor hurts).
+
+Vertex field assignments used by the algorithms:
+``0``: value/rank, ``1``: out-degree, ``2``: level (BFS), ``3``: label,
+``4..7``: scratch.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Sequence
+
+from repro.cpu.isa import Compute, Load, Store, pattload
+from repro.errors import WorkloadError
+from repro.sim.system import System
+
+#: Vertex-record field indices.
+FIELD_VALUE = 0
+FIELD_DEGREE = 1
+FIELD_LEVEL = 2
+FIELD_LABEL = 3
+
+FIELDS = 8
+RECORD_BYTES = FIELDS * 8
+
+_PC_VERTEX = 0x6000
+_PC_SCAN_LEAD = 0x6100
+_PC_SCAN_BODY = 0x6180
+_PC_EDGE = 0x6200
+
+
+class GraphStore:
+    """A directed graph in simulated memory (vertex table + CSR)."""
+
+    def __init__(self, system: System, num_vertices: int,
+                 edges: Sequence[tuple[int, int]], gs: bool = True) -> None:
+        if num_vertices % FIELDS != 0:
+            raise WorkloadError(
+                f"vertex count must be a multiple of {FIELDS} "
+                "(gather group size); pad the graph"
+            )
+        self.system = system
+        self.num_vertices = num_vertices
+        self.gs = gs and system.module.supports_patterns
+        self.pattern = FIELDS - 1 if self.gs else 0
+        self.vertex_base = (
+            system.pattmalloc(num_vertices * RECORD_BYTES, shuffle=True,
+                              pattern=self.pattern)
+            if self.gs
+            else system.malloc(num_vertices * RECORD_BYTES)
+        )
+
+        # Build CSR.
+        adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+        for src, dst in edges:
+            if not (0 <= src < num_vertices and 0 <= dst < num_vertices):
+                raise WorkloadError(f"edge ({src}, {dst}) out of range")
+            adjacency[src].append(dst)
+        self.offsets = [0]
+        targets: list[int] = []
+        for neighbours in adjacency:
+            targets.extend(sorted(neighbours))
+            self.offsets.append(len(targets))
+        self.num_edges = len(targets)
+        self.offsets_base = system.malloc(max(len(self.offsets) * 8, 8))
+        self.targets_base = system.malloc(max(len(targets) * 8, 8))
+        system.mem_write(
+            self.offsets_base, struct.pack(f"<{len(self.offsets)}Q", *self.offsets)
+        )
+        if targets:
+            system.mem_write(
+                self.targets_base, struct.pack(f"<{len(targets)}Q", *targets)
+            )
+        self._adjacency = adjacency  # oracle-side view
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def field_address(self, vertex: int, field: int) -> int:
+        return self.vertex_base + vertex * RECORD_BYTES + field * 8
+
+    def gather_address(self, group_start: int, field: int, position: int) -> int:
+        """Gathered-line address for field ``field`` of a vertex group."""
+        line = group_start + field
+        return self.vertex_base + line * RECORD_BYTES + position * 8
+
+    # ------------------------------------------------------------------
+    # Functional loading / inspection
+    # ------------------------------------------------------------------
+    def load_records(self, records: list[list[int]]) -> None:
+        if len(records) != self.num_vertices:
+            raise WorkloadError("record count mismatch")
+        payload = b"".join(struct.pack(f"<{FIELDS}Q", *r) for r in records)
+        self.system.mem_write(self.vertex_base, payload)
+
+    def read_records(self) -> list[list[int]]:
+        raw = self.system.mem_read(
+            self.vertex_base, self.num_vertices * RECORD_BYTES
+        )
+        values = struct.unpack(f"<{self.num_vertices * FIELDS}Q", raw)
+        return [
+            list(values[v * FIELDS : (v + 1) * FIELDS])
+            for v in range(self.num_vertices)
+        ]
+
+    def neighbours(self, vertex: int) -> list[int]:
+        """Oracle-side adjacency (functional checks only)."""
+        return sorted(self._adjacency[vertex])
+
+    # ------------------------------------------------------------------
+    # Instruction-stream building blocks
+    # ------------------------------------------------------------------
+    def load_field_op(self, vertex: int, field: int, on_value) -> Load:
+        """Pattern-0 load of one field of one vertex."""
+        sink = (lambda b: on_value(struct.unpack("<Q", b)[0])) if on_value else None
+        return Load(self.field_address(vertex, field), pc=_PC_VERTEX + field,
+                    on_value=sink)
+
+    def store_field_op(self, vertex: int, field: int, value: int) -> Store:
+        return Store(self.field_address(vertex, field),
+                     struct.pack("<Q", value), pc=_PC_VERTEX + 32 + field)
+
+    def scan_field_ops(self, field: int, on_value) -> Iterator:
+        """Scan one field of every vertex.
+
+        With GS storage: pattern-7 gathers, eight vertices per line.
+        With plain storage: one record line per vertex.
+        """
+        sink = lambda b: on_value(struct.unpack("<Q", b)[0])
+        if self.gs:
+            for group in range(0, self.num_vertices, FIELDS):
+                for position in range(FIELDS):
+                    pc = (_PC_SCAN_LEAD if position == 0 else _PC_SCAN_BODY) + field
+                    yield pattload(
+                        self.gather_address(group, field, position),
+                        pattern=self.pattern, pc=pc, on_value=sink,
+                    )
+                    yield Compute(1)
+        else:
+            for vertex in range(self.num_vertices):
+                yield Load(self.field_address(vertex, field),
+                           pc=_PC_SCAN_LEAD + field, on_value=sink)
+                yield Compute(1)
+
+    def edge_ops(self, vertex: int, on_target) -> Iterator:
+        """Load the CSR target list of ``vertex``."""
+        start, end = self.offsets[vertex], self.offsets[vertex + 1]
+        sink = lambda b: on_target(struct.unpack("<Q", b)[0])
+        for index in range(start, end):
+            yield Load(self.targets_base + index * 8, pc=_PC_EDGE, on_value=sink)

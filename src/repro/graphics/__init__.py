@@ -1,0 +1,27 @@
+"""Graphics application (paper Section 5.3): pixel objects."""
+
+from repro.graphics.image import (
+    CH_A,
+    CH_B,
+    CH_G,
+    CH_M,
+    CH_R,
+    CH_U,
+    CH_V,
+    CH_Z,
+    CHANNELS,
+    Framebuffer,
+)
+
+__all__ = [
+    "CH_A",
+    "CH_B",
+    "CH_G",
+    "CH_M",
+    "CH_R",
+    "CH_U",
+    "CH_V",
+    "CH_Z",
+    "CHANNELS",
+    "Framebuffer",
+]

@@ -1,0 +1,160 @@
+"""Graphics application (paper Section 5.3).
+
+The paper's third sketched use case: "in graphics, multiple pieces of
+information (e.g., RGB values of pixels) may be packed into small
+objects. Different operations may access multiple values within an
+object or a single value across a large number of objects."
+
+We model a framebuffer of pixel *objects* — eight 8-byte channels per
+pixel (R, G, B, A, Z, U, V, M), one pixel per cache line, the same
+record shape the paper's mechanism targets. Two operation families:
+
+- **per-pixel** (compositing, blending): read/write several channels of
+  one pixel — pattern-0 accesses to one line;
+- **per-channel** (histograms, channel means, Z-buffer scans): one
+  channel across every pixel — pattern-7 gathers, 8 pixels per line.
+
+Channels narrower than 8 bytes would use the Section 6.3 intra-chip
+translation (see :class:`repro.core.extensions.TiledChip`); at this
+layer we keep the paper's 8-byte value granularity.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.cpu.isa import Compute, Load, Store, pattload
+from repro.errors import WorkloadError
+from repro.sim.system import System
+
+#: Channel indices within a pixel record.
+CH_R, CH_G, CH_B, CH_A, CH_Z, CH_U, CH_V, CH_M = range(8)
+CHANNELS = 8
+PIXEL_BYTES = CHANNELS * 8
+
+_PC_PIXEL = 0x8000
+_PC_SCAN_LEAD = 0x8100
+_PC_SCAN_BODY = 0x8180
+
+
+class Framebuffer:
+    """A width x height pixel-object array in simulated memory."""
+
+    def __init__(self, system: System, width: int, height: int,
+                 gs: bool = True) -> None:
+        if (width * height) % CHANNELS != 0:
+            raise WorkloadError(
+                f"pixel count must be a multiple of {CHANNELS}"
+            )
+        self.system = system
+        self.width = width
+        self.height = height
+        self.gs = gs and system.module.supports_patterns
+        self.pattern = CHANNELS - 1 if self.gs else 0
+        size = width * height * PIXEL_BYTES
+        self.base = (
+            system.pattmalloc(size, shuffle=True, pattern=self.pattern)
+            if self.gs
+            else system.malloc(size)
+        )
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    def pixel_index(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise WorkloadError(f"pixel ({x}, {y}) out of bounds")
+        return y * self.width + x
+
+    def channel_address(self, pixel: int, channel: int) -> int:
+        return self.base + pixel * PIXEL_BYTES + channel * 8
+
+    # ------------------------------------------------------------------
+    # Functional load/store of whole images
+    # ------------------------------------------------------------------
+    def load_pixels(self, records: list[list[int]]) -> None:
+        if len(records) != self.pixels:
+            raise WorkloadError("pixel record count mismatch")
+        payload = b"".join(
+            struct.pack(f"<{CHANNELS}Q", *record) for record in records
+        )
+        self.system.mem_write(self.base, payload)
+
+    def read_pixels(self) -> list[list[int]]:
+        raw = self.system.mem_read(self.base, self.pixels * PIXEL_BYTES)
+        values = struct.unpack(f"<{self.pixels * CHANNELS}Q", raw)
+        return [
+            list(values[p * CHANNELS : (p + 1) * CHANNELS])
+            for p in range(self.pixels)
+        ]
+
+    # ------------------------------------------------------------------
+    # Per-pixel operations (pattern 0)
+    # ------------------------------------------------------------------
+    def blend_ops(self, pixel: int, rgb: tuple[int, int, int],
+                  alpha_num: int, alpha_den: int = 256) -> Iterator:
+        """Alpha-blend a colour into one pixel: read RGB, write RGB.
+
+        Integer blend: ``new = (old * (den - num) + src * num) // den``.
+        """
+        old = [0, 0, 0]
+
+        def capture(channel_slot, data):
+            old[channel_slot] = struct.unpack("<Q", data)[0]
+
+        for slot, channel in enumerate((CH_R, CH_G, CH_B)):
+            yield Load(self.channel_address(pixel, channel),
+                       pc=_PC_PIXEL + channel,
+                       on_value=lambda d, s=slot: capture(s, d))
+        yield Compute(6)  # three multiply-adds
+        for slot, channel in enumerate((CH_R, CH_G, CH_B)):
+            blended = (old[slot] * (alpha_den - alpha_num)
+                       + rgb[slot] * alpha_num) // alpha_den
+            yield Store(self.channel_address(pixel, channel),
+                        struct.pack("<Q", blended),
+                        pc=_PC_PIXEL + 16 + channel)
+
+    # ------------------------------------------------------------------
+    # Per-channel operations (pattern 7 on GS storage)
+    # ------------------------------------------------------------------
+    def scan_channel_ops(self, channel: int, on_value) -> Iterator:
+        """Visit one channel of every pixel (histogram/mean/Z scans)."""
+        if not 0 <= channel < CHANNELS:
+            raise WorkloadError(f"channel {channel} out of range")
+        sink = lambda b: on_value(struct.unpack("<Q", b)[0])
+        if self.gs:
+            for group in range(0, self.pixels, CHANNELS):
+                line = group + channel
+                for position in range(CHANNELS):
+                    pc = (_PC_SCAN_LEAD if position == 0 else _PC_SCAN_BODY) + channel
+                    yield pattload(self.base + line * PIXEL_BYTES + position * 8,
+                                   pattern=self.pattern, pc=pc, on_value=sink)
+                    yield Compute(1)
+        else:
+            for pixel in range(self.pixels):
+                yield Load(self.channel_address(pixel, channel),
+                           pc=_PC_SCAN_LEAD + channel, on_value=sink)
+                yield Compute(1)
+
+    def channel_histogram_ops(self, channel: int, bins: int,
+                              histogram: list[int],
+                              bin_width: int) -> Iterator:
+        """Histogram one channel into ``bins`` buckets of ``bin_width``."""
+        if len(histogram) != bins:
+            raise WorkloadError("histogram list must have `bins` entries")
+
+        def bucket(value: int) -> None:
+            index = min(value // bin_width, bins - 1)
+            histogram[index] += 1
+
+        yield from self.scan_channel_ops(channel, bucket)
+
+    def depth_test_ops(self, threshold: int, result: list[int]) -> Iterator:
+        """Count pixels nearer than ``threshold`` (a Z-buffer scan)."""
+        def judge(z: int) -> None:
+            if z < threshold:
+                result[0] += 1
+
+        yield from self.scan_channel_ops(CH_Z, judge)

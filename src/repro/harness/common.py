@@ -1,0 +1,76 @@
+"""Shared harness plumbing: scale presets and mechanism constants.
+
+The paper's evaluation runs at Gem5 scale (1M-tuple tables, n=1024
+matrices). A pure-Python cycle-level simulator reproduces the *shapes*
+at reduced scale; every experiment driver takes a :class:`Scale`
+selecting how big to run. The ``REPRO_SCALE`` environment variable
+(quick / default / full) picks the preset for the benchmark suite, and
+the scaling ablation (abl-3) demonstrates that the headline ratios are
+stable across presets.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Mechanism display names, in the paper's plotting order.
+MECHANISMS = ("Row Store", "Column Store", "GS-DRAM")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for one experiment sweep."""
+
+    name: str
+    #: Tuples in the DB table (paper: 1,000,000).
+    db_tuples: int
+    #: Transactions per Figure 9 run (paper: 10,000).
+    db_transactions: int
+    #: Tuples for the HTAP experiment.
+    htap_tuples: int
+    #: L2 size override for HTAP so table:L2 stays paper-like
+    #: (the paper's 64 MB table dwarfs its 2 MB L2).
+    htap_l2_size: int
+    #: Matrix sizes for Figure 13 (paper: 32..1024).
+    gemm_sizes: tuple[int, ...]
+
+
+QUICK = Scale(
+    name="quick",
+    db_tuples=4096,
+    db_transactions=200,
+    htap_tuples=8192,
+    htap_l2_size=64 * 1024,
+    gemm_sizes=(16, 32),
+)
+
+DEFAULT = Scale(
+    name="default",
+    db_tuples=16384,
+    db_transactions=600,
+    htap_tuples=16384,
+    htap_l2_size=128 * 1024,
+    gemm_sizes=(16, 32, 64),
+)
+
+FULL = Scale(
+    name="full",
+    db_tuples=65536,
+    db_transactions=2000,
+    htap_tuples=32768,
+    htap_l2_size=256 * 1024,
+    gemm_sizes=(16, 32, 64, 96),
+)
+
+_PRESETS = {scale.name: scale for scale in (QUICK, DEFAULT, FULL)}
+
+
+def current_scale() -> Scale:
+    """Scale selected by ``REPRO_SCALE`` (default: "default")."""
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    if name not in _PRESETS:
+        raise ValueError(
+            f"REPRO_SCALE={name!r}; expected one of {sorted(_PRESETS)}"
+        )
+    return _PRESETS[name]

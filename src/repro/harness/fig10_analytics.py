@@ -1,0 +1,61 @@
+"""Figure 10: analytics workload performance.
+
+Execution time of a query summing k = 1 or 2 columns, without and with
+the stride prefetcher. Paper result: Column Store and GS-DRAM are
+equivalent and ~2x faster than Row Store on average; prefetching helps
+all three mechanisms.
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import run_analytics
+from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
+from repro.db.workload import AnalyticsQuery
+from repro.errors import WorkloadError
+from repro.harness.common import Scale, current_scale
+from repro.utils.records import ComparisonSummary, FigureResult
+
+QUERIES = (AnalyticsQuery((0,)), AnalyticsQuery((0, 1)))
+
+
+def run_figure10(
+    scale: Scale | None = None,
+) -> tuple[FigureResult, ComparisonSummary]:
+    """Run the Figure 10 sweep (k columns x prefetch on/off)."""
+    scale = scale or current_scale()
+    figure = FigureResult(
+        figure="Figure 10",
+        description=(
+            f"Analytics: execution time (cycles) for column-sum queries, "
+            f"{scale.db_tuples} tuples"
+        ),
+        x_label="query / prefetch",
+    )
+    for prefetch in (False, True):
+        for query in QUERIES:
+            label = f"{query.label}{' +pf' if prefetch else ''}"
+            for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
+                layout = layout_cls()
+                run = run_analytics(
+                    layout, query, num_tuples=scale.db_tuples, prefetch=prefetch
+                )
+                if not run.verified:
+                    raise WorkloadError(
+                        f"analytics answer wrong: {layout.name} {label}"
+                    )
+                figure.add_point(layout.name, label, run.result.cycles)
+
+    summary = ComparisonSummary(figure="Figure 10")
+    summary.record(
+        "GS-DRAM speedup vs Row Store (paper: ~2x)",
+        figure.speedup("Row Store", "GS-DRAM"),
+    )
+    summary.record(
+        "GS-DRAM vs Column Store (paper: ~1x, parity)",
+        figure.speedup("Column Store", "GS-DRAM"),
+    )
+    figure.notes.append(
+        "expected shape: GS-DRAM tracks Column Store; Row Store fetches "
+        "8x the lines; prefetching helps everyone"
+    )
+    return figure, summary

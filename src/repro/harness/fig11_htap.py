@@ -1,0 +1,73 @@
+"""Figure 11: HTAP — analytics latency and transaction throughput.
+
+One analytics thread (sum of one column) and one transaction thread
+(one read-only + one write-only field per transaction) run concurrently
+on two cores sharing the L2 and the memory channel. Paper result:
+
+- 11a: GS-DRAM matches Column Store's analytics time; Row Store is far
+  slower.
+- 11b: GS-DRAM's transaction throughput beats Column Store *and* Row
+  Store — Row Store's streaming analytics monopolises the FR-FCFS
+  scheduler's row hits and starves the transaction thread, drastically
+  so with prefetching.
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import run_htap
+from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
+from repro.harness.common import Scale, current_scale
+from repro.utils.records import ComparisonSummary, FigureResult
+
+
+def run_figure11(
+    scale: Scale | None = None,
+) -> tuple[FigureResult, FigureResult, ComparisonSummary]:
+    """Run Figure 11; returns (11a analytics, 11b throughput, ratios)."""
+    scale = scale or current_scale()
+    overrides = {"l2_size": scale.htap_l2_size}
+    analytics_fig = FigureResult(
+        figure="Figure 11a",
+        description=(
+            f"HTAP analytics execution time (cycles), "
+            f"{scale.htap_tuples} tuples, L2 {scale.htap_l2_size // 1024} KB"
+        ),
+        x_label="prefetch",
+    )
+    throughput_fig = FigureResult(
+        figure="Figure 11b",
+        description="HTAP transaction throughput (million txns/sec)",
+        x_label="prefetch",
+    )
+    for prefetch in (False, True):
+        label = "with pf" if prefetch else "w/o pf"
+        for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
+            layout = layout_cls()
+            run = run_htap(
+                layout,
+                num_tuples=scale.htap_tuples,
+                prefetch=prefetch,
+                config_overrides=overrides,
+            )
+            analytics_fig.add_point(layout.name, label, run.analytics_cycles)
+            throughput_fig.add_point(layout.name, label, run.txn_throughput_mps)
+
+    summary = ComparisonSummary(figure="Figure 11")
+    summary.record(
+        "analytics: GS-DRAM speedup vs Row Store",
+        analytics_fig.speedup("Row Store", "GS-DRAM"),
+    )
+    summary.record(
+        "throughput: GS-DRAM vs Column Store (paper: GS wins)",
+        throughput_fig.mean("GS-DRAM") / max(throughput_fig.mean("Column Store"), 1e-9),
+    )
+    summary.record(
+        "throughput with pf: GS-DRAM vs Row Store (paper: GS wins big)",
+        throughput_fig.series["GS-DRAM"][1]
+        / max(throughput_fig.series["Row Store"][1], 1e-9),
+    )
+    throughput_fig.notes.append(
+        "expected shape: Row Store's streaming row hits starve the "
+        "transaction thread under FR-FCFS, especially with prefetching"
+    )
+    return analytics_fig, throughput_fig, summary

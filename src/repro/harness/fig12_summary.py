@@ -1,0 +1,91 @@
+"""Figure 12: average performance and energy summary.
+
+12a: average execution time of the transaction workload (over the
+Figure 9 mixes) and the analytics workload (k = 1, with prefetching).
+12b: the corresponding full-system energy (processor + DRAM).
+
+Paper results: for transactions GS-DRAM matches Row Store and consumes
+2.1x less energy than Column Store; for analytics GS-DRAM matches
+Column Store and consumes 2.4x less energy than Row Store (4x without
+prefetching).
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import run_analytics, run_transactions
+from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
+from repro.db.workload import FIGURE9_MIXES, AnalyticsQuery
+from repro.errors import WorkloadError
+from repro.harness.common import Scale, current_scale
+from repro.utils.records import ComparisonSummary, FigureResult
+
+#: Representative subset of mixes for the summary average (light, heavy).
+SUMMARY_MIXES = (FIGURE9_MIXES[0], FIGURE9_MIXES[3], FIGURE9_MIXES[7])
+
+
+def run_figure12(
+    scale: Scale | None = None,
+) -> tuple[FigureResult, FigureResult, ComparisonSummary]:
+    """Run Figure 12; returns (12a performance, 12b energy, ratios)."""
+    scale = scale or current_scale()
+    perf = FigureResult(
+        figure="Figure 12a",
+        description="Average execution time (cycles): transactions & analytics",
+        x_label="workload",
+    )
+    energy = FigureResult(
+        figure="Figure 12b",
+        description="Average energy (mJ): transactions & analytics",
+        x_label="workload",
+    )
+    analytics_energy_nopf: dict[str, float] = {}
+
+    for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
+        cycles = []
+        millijoules = []
+        for mix in SUMMARY_MIXES:
+            run = run_transactions(
+                layout_cls(), mix,
+                num_tuples=scale.db_tuples, count=scale.db_transactions,
+            )
+            if not run.verified:
+                raise WorkloadError(f"txn check failed: {layout_cls.__name__}")
+            cycles.append(run.result.cycles)
+            millijoules.append(run.result.energy.total_mj)
+        name = layout_cls().name
+        perf.add_point(name, "Trans.", sum(cycles) / len(cycles))
+        energy.add_point(name, "Trans.", sum(millijoules) / len(millijoules))
+
+    query = AnalyticsQuery((0,))
+    for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
+        name = layout_cls().name
+        run_pf = run_analytics(
+            layout_cls(), query, num_tuples=scale.db_tuples, prefetch=True
+        )
+        run_nopf = run_analytics(
+            layout_cls(), query, num_tuples=scale.db_tuples, prefetch=False
+        )
+        if not (run_pf.verified and run_nopf.verified):
+            raise WorkloadError(f"analytics check failed: {name}")
+        perf.add_point(name, "Anal.", run_pf.result.cycles)
+        energy.add_point(name, "Anal.", run_pf.result.energy.total_mj)
+        analytics_energy_nopf[name] = run_nopf.result.energy.total_mj
+
+    summary = ComparisonSummary(figure="Figure 12")
+    summary.record(
+        "txn energy: Column Store / GS-DRAM (paper: 2.1x)",
+        energy.series["Column Store"][0] / energy.series["GS-DRAM"][0],
+    )
+    summary.record(
+        "analytics energy w/ pf: Row Store / GS-DRAM (paper: 2.4x)",
+        energy.series["Row Store"][1] / energy.series["GS-DRAM"][1],
+    )
+    summary.record(
+        "analytics energy w/o pf: Row Store / GS-DRAM (paper: 4x)",
+        analytics_energy_nopf["Row Store"] / analytics_energy_nopf["GS-DRAM"],
+    )
+    summary.record(
+        "txn energy: GS-DRAM vs Row Store (paper: ~1x)",
+        energy.series["Row Store"][0] / energy.series["GS-DRAM"][0],
+    )
+    return perf, energy, summary

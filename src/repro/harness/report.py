@@ -1,0 +1,213 @@
+"""EXPERIMENTS.md generator.
+
+Assembles the paper-vs-measured record from the figure tables the
+benchmark suite wrote to ``benchmarks/results/``. Regenerate with::
+
+    pytest benchmarks/ --benchmark-only       # refresh results/
+    python -m repro.harness.report            # rewrite EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+#: What the paper reports, per experiment — the reproduction targets.
+PAPER_CLAIMS: dict[str, list[str]] = {
+    "fig7": [
+        "Figure 7 lists, per pattern ID, the cache lines GS-DRAM(4,2,2) "
+        "gathers: pattern 0 = contiguous, 1 = stride 2, 2 = dual stride "
+        "(1,7), 3 = stride 4.",
+        "Reproduced exactly (pattern 2's rows appear in a different "
+        "column order in the figure — sorted by first element — the "
+        "line *families* are identical; patterns 0/1/3 match "
+        "column-for-column).",
+    ],
+    "fig9": [
+        "Paper: GS-DRAM performs as well as the Row Store and 3x (avg) "
+        "better than the Column Store on transactions; Row Store is "
+        "flat across mixes, Column Store degrades with field count.",
+    ],
+    "fig10": [
+        "Paper: GS-DRAM performs similarly to the Column Store and ~2x "
+        "better than the Row Store on analytics, with and without "
+        "prefetching; prefetching helps all three.",
+    ],
+    "fig11": [
+        "Paper: (a) GS-DRAM matches the Column Store's analytics time; "
+        "(b) GS-DRAM's transaction throughput beats the Column Store "
+        "and even the Row Store — FR-FCFS lets the Row Store's "
+        "streaming analytics starve its transaction thread, worse with "
+        "prefetching.",
+    ],
+    "fig12": [
+        "Paper: transactions — GS-DRAM energy ~= Row Store, 2.1x below "
+        "Column Store; analytics — GS-DRAM ~= Column Store, 2.4x below "
+        "Row Store with prefetching (4x without).",
+        "Caveat: our measured analytics-energy gap is larger than the "
+        "paper's and similar with/without prefetching — the in-order "
+        "blocking core gains as much from prefetching on GS-DRAM as on "
+        "the Row Store, so the 2.4x-vs-4x split does not reproduce; "
+        "the orderings and >2x magnitudes do.",
+    ],
+    "fig13": [
+        "Paper: tiling beats non-tiled increasingly with n; GS-DRAM "
+        "beats the best tiled version by ~10% on average.",
+        "Caveat: our measured GS advantage (~30%) exceeds the paper's "
+        "10% — with a 2-lane SIMD in-order core, removing the software "
+        "gather (2 loads + 1 pack per SIMD MAC) is worth relatively "
+        "more than on the paper's machine. The ordering and the "
+        "growth-with-n shape reproduce; matrix/cache sizes are scaled "
+        "together (see DESIGN.md).",
+    ],
+    "abl1": [
+        "(Ours) Section 3.2's motivation quantified: chip conflicts per "
+        "gather with/without shuffling.",
+    ],
+    "abl2": [
+        "(Ours) The Figure 11 starvation effect is an FR-FCFS property: "
+        "an FCFS scheduler narrows the Row Store's throughput gap.",
+    ],
+    "abl3": [
+        "(Ours) Headline ratios are stable across table sizes, "
+        "supporting the scaled-down reproduction.",
+    ],
+    "abl4": [
+        "(Ours) Section 7's Impulse comparison quantified: an Impulse-"
+        "style controller matches GS-DRAM's cache utilisation but reads "
+        "8x the lines from commodity DRAM.",
+    ],
+    "abl5": [
+        "(Ours) Section 4.2's multi-channel extension: multiprogrammed "
+        "streams scale with channels; GS-DRAM's 8x traffic reduction "
+        "means one GS channel outruns four commodity channels on the "
+        "same scans.",
+    ],
+    "sec53-kv": [
+        "Paper (Section 5.3, sketched): inserts benefit from key+value "
+        "in one line; lookups benefit from key-only gathered lines.",
+        "(Ours) quantified: inserts at parity; the pattern-1 key scan "
+        "halves line traffic versus the pair layout.",
+    ],
+    "abl6": [
+        "(Ours) End-to-end benefit per supported pattern: the gathered "
+        "scan's DRAM traffic is exactly 1/stride of the scalar scan's, "
+        "for strides 2, 4, and 8.",
+    ],
+    "sweep-stages": [
+        "(Ours) Sensitivity: each butterfly stage halves the lines a "
+        "field scan touches; the full 3 stages reach the 8x reduction. "
+        "Even one stage beats the row store.",
+    ],
+    "sweep-prefetch": [
+        "(Ours) Sensitivity: prefetching helps both mechanisms; GS-DRAM "
+        "wins at every degree. Degree 8 over-prefetches the gathered "
+        "stream (bus contention) — the paper's degree 4 is a good "
+        "operating point.",
+    ],
+    "sweep-l2": [
+        "(Ours) Sensitivity: the analytics gap persists across L2 "
+        "capacities — it is a bandwidth property, not a cache-size "
+        "artifact.",
+    ],
+    "fw-auto": [
+        "Paper (Section 4): \"it is also possible for the processor to "
+        "dynamically identify different access patterns ... transparently "
+        "to the application. We leave the design of such an automatic "
+        "mechanism for future work.\"",
+        "(Ours) implemented: a per-PC record-stride detector rewrites "
+        "eligible scalar loads into gathers (provably semantics-"
+        "preserving); an unmodified row-store scan recovers most of the "
+        "hand-written pattload version's benefit.",
+    ],
+    "sec53-graph": [
+        "Paper (Section 5.3, sketched): node updates and graph "
+        "traversals have different access patterns from whole-graph "
+        "field operations.",
+        "(Ours) quantified: field analytics gain ~8x line traffic "
+        "reduction; BFS (pattern 0) is unaffected. BFS levels are "
+        "verified against networkx.",
+    ],
+}
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Every table/figure in the paper's evaluation, reproduced by
+`pytest benchmarks/ --benchmark-only`. The tables below are the output
+of the most recent default-scale run (`REPRO_SCALE=default`); regenerate
+with `python -m repro.harness.report` after re-running the benchmarks.
+
+**Scale.** The paper simulates a 1M-tuple table (64 MB) and matrices up
+to n=1024 on Gem5; this pure-Python cycle-level reproduction runs the
+same workloads scaled down (default: 16K tuples; GEMM n<=64 with caches
+scaled by the same factor), keeping the capacity *ratios* that produce
+each figure's shape. Ablation abl-3 demonstrates the headline ratios
+are stable across sizes. Absolute cycle counts are not comparable to
+the paper's (different core model, different scale); the reproduction
+targets are orderings and approximate factors.
+
+**Functional verification.** Every run checks its answers: DB queries
+against a Python oracle, GEMM against numpy, BFS against networkx. A
+benchmark fails (not just deviates) if any answer is wrong.
+"""
+
+
+@dataclass
+class Section:
+    key: str
+    title: str
+
+
+SECTIONS = [
+    Section("fig7", "Figure 7 — gathered-line families (mechanism correctness)"),
+    Section("fig9", "Figure 9 — transaction workload"),
+    Section("fig10", "Figure 10 — analytics workload"),
+    Section("fig11", "Figure 11 — HTAP"),
+    Section("fig12", "Figure 12 — performance & energy summary"),
+    Section("fig13", "Figure 13 — GEMM"),
+    Section("abl1", "Ablation 1 — shuffling vs chip conflicts"),
+    Section("abl2", "Ablation 2 — FR-FCFS vs FCFS under HTAP"),
+    Section("abl3", "Ablation 3 — table-size scaling"),
+    Section("abl4", "Ablation 4 — Impulse baseline (Section 7)"),
+    Section("abl5", "Ablation 5 — multi-channel scaling (Section 4.2)"),
+    Section("abl6", "Ablation 6 — per-pattern stride sweep"),
+    Section("sweep-stages", "Sensitivity — shuffle stages"),
+    Section("sweep-prefetch", "Sensitivity — prefetch degree"),
+    Section("sweep-l2", "Sensitivity — L2 capacity"),
+    Section("sec53-kv", "Section 5.3 — key-value store (pattern 1)"),
+    Section("sec53-graph", "Section 5.3 — graph processing"),
+    Section("fw-auto", "Future work — dynamic pattern detection (Section 4)"),
+]
+
+
+def generate(results_dir: pathlib.Path, output: pathlib.Path) -> str:
+    """Write EXPERIMENTS.md from the results directory; returns the text."""
+    parts = [HEADER]
+    for section in SECTIONS:
+        parts.append(f"\n## {section.title}\n")
+        for claim in PAPER_CLAIMS.get(section.key, []):
+            parts.append(f"> {claim}\n")
+        table_file = results_dir / f"{section.key}.txt"
+        if table_file.exists():
+            parts.append("\n```\n" + table_file.read_text().rstrip() + "\n```\n")
+        else:
+            parts.append(
+                "\n*(no recorded run — execute "
+                "`pytest benchmarks/ --benchmark-only` first)*\n"
+            )
+    text = "".join(parts)
+    output.write_text(text)
+    return text
+
+
+def main() -> None:
+    root = pathlib.Path(__file__).resolve().parents[3]
+    results = root / "benchmarks" / "results"
+    output = root / "EXPERIMENTS.md"
+    generate(results, output)
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

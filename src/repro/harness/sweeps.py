@@ -1,0 +1,167 @@
+"""Sensitivity sweeps over the design parameters.
+
+The paper evaluates one configuration (GS-DRAM(8,3,3), degree-4
+prefetch, 2 MB L2). These sweeps show how the headline analytics
+result responds to each knob — the kind of sensitivity analysis an
+artifact evaluation asks for:
+
+- **shuffle stages** (0..3): how much of the benefit each butterfly
+  stage buys (stage count bounds the largest single-READ stride);
+- **prefetch degree** (0..8): interaction between gathers and the
+  stride prefetcher;
+- **L2 capacity**: the benefit persists from cache-starved to
+  cache-rich configurations.
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import run_analytics
+from repro.db.layouts import GSDRAMStore, RowStore
+from repro.db.workload import AnalyticsQuery
+from repro.errors import WorkloadError
+from repro.utils.records import FigureResult
+
+_QUERY = AnalyticsQuery((0,))
+
+
+def sweep_shuffle_stages(num_tuples: int = 4096) -> FigureResult:
+    """Analytics cycles vs shuffle stage count.
+
+    With ``s`` stages the largest single-READ stride is ``2^s``; the
+    field scan (stride 8) therefore needs pattern ``2^s - 1`` gathers
+    of partial groups — fewer stages mean more lines touched. Stage
+    count 0 degenerates to row-store behaviour (the scan must fall back
+    to pattern-0 loads).
+    """
+    figure = FigureResult(
+        figure="sweep-stages",
+        description=f"Analytics ({num_tuples} tuples) vs shuffle stages",
+        x_label="stages",
+    )
+    # Reference: the row store (what stage 0 degenerates to).
+    row = run_analytics(RowStore(), _QUERY, num_tuples=num_tuples)
+    for stages in (1, 2, 3):
+        stride = 1 << stages
+        pattern = stride - 1
+        layout = _PartialGatherStore(pattern)
+        run = run_analytics(
+            layout, _QUERY, num_tuples=num_tuples,
+            config_overrides={"shuffle_stages": stages},
+        )
+        if not run.verified:
+            raise WorkloadError(f"stages={stages}: wrong answer")
+        figure.add_point("GS-DRAM", stages, run.result.cycles)
+        figure.add_point("Row Store reference", stages, row.result.cycles)
+    figure.notes.append(
+        "each stage halves the lines a field scan touches; 3 stages "
+        "reach the full 8x"
+    )
+    return figure
+
+
+class _PartialGatherStore(GSDRAMStore):
+    """A GS store that scans with a smaller-stride pattern.
+
+    With pattern ``p = 2^s - 1`` (s < 3), one gathered line holds field
+    ``f`` for only ``2^s`` tuples (the other chips return other
+    fields), so a field scan needs ``8 / 2^s`` gathers per 8-tuple
+    group, touching proportionally more lines. The useful positions
+    within each gathered line are computed from the gather geometry —
+    the same mapping knowledge pattern-aware software always needs.
+    """
+
+    def __init__(self, pattern: int) -> None:
+        super().__init__()
+        self._scan_pattern = pattern
+
+    def attach(self, system, num_tuples: int) -> None:
+        if num_tuples % self.schema.num_fields != 0:
+            from repro.errors import WorkloadError as _WE
+
+            raise _WE("tuple count must be a multiple of 8")
+        self.system = system
+        self.num_tuples = num_tuples
+        self.pattern = self._scan_pattern
+        self.base = system.pattmalloc(
+            num_tuples * self.schema.tuple_bytes, shuffle=True,
+            pattern=self._scan_pattern,
+        )
+
+    def analytics_ops(self, query, on_value):
+        import struct
+
+        from repro.core.pattern import gather_spec
+        from repro.cpu.isa import Compute, pattload
+
+        self._require_attached()
+        pattern = self._scan_pattern
+        group = pattern + 1
+        chips = self.schema.num_fields
+        columns_per_row = 128
+        sink = lambda b: on_value(struct.unpack("<Q", b)[0])
+        for field in query.fields:
+            self.schema.validate_field(field)
+            for window in range(0, self.num_tuples, group):
+                # The gathered line holding field `field` of tuples
+                # window..window+group-1 is issued at this column:
+                column = (window - window % group) + (field & pattern)
+                spec = gather_spec(chips, pattern, column % columns_per_row)
+                # Positions whose gathered value is field `field` of a
+                # window tuple (value index == field).
+                positions = [i for i, idx in enumerate(spec.indices)
+                             if idx % chips == field]
+                lead = True
+                for position in positions:
+                    address = self.base + column * 64 + position * 8
+                    pc = (0x7300 if lead else 0x7380) + field
+                    lead = False
+                    yield pattload(address, pattern=pattern, pc=pc,
+                                   on_value=sink)
+                    yield Compute(1)
+
+
+def sweep_prefetch_degree(num_tuples: int = 8192,
+                          degrees: tuple[int, ...] = (0, 2, 4, 8)) -> FigureResult:
+    """Analytics cycles vs prefetch degree, GS-DRAM vs Row Store."""
+    figure = FigureResult(
+        figure="sweep-prefetch",
+        description=f"Analytics ({num_tuples} tuples) vs prefetch degree",
+        x_label="degree",
+    )
+    for degree in degrees:
+        overrides = {"prefetch_degree": max(degree, 1)}
+        prefetch = degree > 0
+        for layout_cls in (RowStore, GSDRAMStore):
+            run = run_analytics(
+                layout_cls(), _QUERY, num_tuples=num_tuples,
+                prefetch=prefetch, config_overrides=overrides,
+            )
+            if not run.verified:
+                raise WorkloadError("prefetch sweep: wrong answer")
+            figure.add_point(layout_cls().name, degree, run.result.cycles)
+    figure.notes.append("degree 0 disables the prefetcher")
+    return figure
+
+
+def sweep_l2_size(num_tuples: int = 8192,
+                  sizes=(64 * 1024, 256 * 1024, 1024 * 1024)) -> FigureResult:
+    """Analytics cycles vs L2 capacity (cold scans: expect flatness)."""
+    figure = FigureResult(
+        figure="sweep-l2",
+        description=f"Analytics ({num_tuples} tuples) vs L2 size",
+        x_label="l2_kib",
+    )
+    for size in sizes:
+        for layout_cls in (RowStore, GSDRAMStore):
+            run = run_analytics(
+                layout_cls(), _QUERY, num_tuples=num_tuples,
+                prefetch=True, config_overrides={"l2_size": size},
+            )
+            if not run.verified:
+                raise WorkloadError("l2 sweep: wrong answer")
+            figure.add_point(layout_cls().name, size // 1024, run.result.cycles)
+    figure.notes.append(
+        "a cold single-pass scan is capacity-insensitive; the GS gap is "
+        "a bandwidth property, not a cache-size artifact"
+    )
+    return figure

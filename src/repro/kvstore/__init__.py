@@ -1,0 +1,5 @@
+"""Key-value store application (paper Section 5.3, pattern 1)."""
+
+from repro.kvstore.store import KVStore, LookupResult
+
+__all__ = ["KVStore", "LookupResult"]

@@ -1,0 +1,157 @@
+"""Key-value store on GS-DRAM (paper Section 5.3).
+
+The paper's pattern-1 use case: with 8-byte keys and 8-byte values
+stored as adjacent pairs, the cache line (pattern 0, column c) holds
+four key-value pairs, while the *gathered* line (pattern 1, even
+column) holds eight consecutive keys and (pattern 1, odd column) eight
+consecutive values.
+
+- ``insert`` benefits from the pair layout (key and value in one line,
+  pattern 0);
+- ``lookup`` scans keys eight-per-cache-line with pattern 1, touching
+  half the lines a pair-layout scan would.
+
+The store is functional + timed like everything else: operations are
+instruction streams, and results are checked against a dict oracle.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cpu.isa import Compute, Load, Store, pattload
+from repro.errors import WorkloadError
+from repro.sim.system import System
+
+#: Bytes per key / per value.
+SLOT = 8
+#: Pairs per cache line (64 / 16).
+PAIRS_PER_LINE = 4
+#: Keys per gathered line with pattern 1 (one per chip).
+KEYS_PER_GATHER = 8
+#: Stride-2 pattern.
+PATTERN = 1
+
+_PC_INSERT, _PC_SCAN_LEAD, _PC_SCAN_BODY, _PC_VALUE = 0x5000, 0x5001, 0x5002, 0x5003
+
+
+@dataclass
+class LookupResult:
+    """Mutable carrier for a scan's outcome."""
+
+    found: bool = False
+    value: int = 0
+    keys_examined: int = 0
+
+
+class KVStore:
+    """An append-only KV array with gather-accelerated key scans."""
+
+    def __init__(self, system: System, capacity: int) -> None:
+        if not system.module.supports_patterns:
+            raise WorkloadError("KVStore requires a GS-DRAM system")
+        if capacity % KEYS_PER_GATHER != 0:
+            raise WorkloadError(
+                f"capacity must be a multiple of {KEYS_PER_GATHER}"
+            )
+        self.system = system
+        self.capacity = capacity
+        self.count = 0
+        self.base = system.pattmalloc(
+            capacity * 2 * SLOT, shuffle=True, pattern=PATTERN
+        )
+        self.oracle: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def pair_address(self, index: int) -> int:
+        """Address of pair ``index``'s key (value follows at +8)."""
+        return self.base + index * 2 * SLOT
+
+    def gather_key_address(self, group: int, position: int) -> int:
+        """Address of the ``position``-th key in key-gather line ``group``.
+
+        Key-gather lines sit at even columns: group g's gathered line is
+        issued at column 2g and covers the keys of pairs 8g .. 8g+7.
+        """
+        line = 2 * group
+        return self.base + line * 64 + position * SLOT
+
+    # ------------------------------------------------------------------
+    # Operations (instruction streams)
+    # ------------------------------------------------------------------
+    def insert_ops(self, key: int, value: int) -> Iterator:
+        """Append one pair (pattern-0 store of key and value together)."""
+        if self.count >= self.capacity:
+            raise WorkloadError("KV store is full")
+        index = self.count
+        self.count += 1
+        self.oracle[key] = value
+        payload = struct.pack("<QQ", key, value)
+        yield Compute(4)  # slot bookkeeping
+        yield Store(self.pair_address(index), payload, pc=_PC_INSERT)
+
+    def lookup_ops(self, key: int, result: LookupResult) -> Iterator:
+        """Scan keys with pattern-1 gathers; fetch the value on a match.
+
+        The scan walks gathered key lines (8 keys per line, 1 miss + 7
+        hits each); a pair-layout scan would touch 2x the lines.
+        """
+        groups = (self.count + KEYS_PER_GATHER - 1) // KEYS_PER_GATHER
+        match = [None]
+
+        def check(position_base: int, data: bytes) -> None:
+            found_key = struct.unpack("<Q", data)[0]
+            result.keys_examined += 1
+            if found_key == key and match[0] is None:
+                match[0] = position_base
+
+        for group in range(groups):
+            for position in range(KEYS_PER_GATHER):
+                index = group * KEYS_PER_GATHER + position
+                if index >= self.count:
+                    break
+                pc = _PC_SCAN_LEAD if position == 0 else _PC_SCAN_BODY
+                yield pattload(
+                    self.gather_key_address(group, position),
+                    pattern=PATTERN,
+                    pc=pc,
+                    on_value=lambda data, idx=index: check(idx, data),
+                )
+                yield Compute(1)  # compare
+            if match[0] is not None:
+                break
+
+        if match[0] is not None:
+            def capture(data: bytes) -> None:
+                result.found = True
+                result.value = struct.unpack("<Q", data)[0]
+
+            yield Load(
+                self.pair_address(match[0]) + SLOT, pc=_PC_VALUE,
+                on_value=capture,
+            )
+
+    # ------------------------------------------------------------------
+    # Whole-workload helpers
+    # ------------------------------------------------------------------
+    def bulk_insert_ops(self, pairs: list[tuple[int, int]]) -> Iterator:
+        for key, value in pairs:
+            yield from self.insert_ops(key, value)
+
+    def scan_all_keys_ops(self, sink) -> Iterator:
+        """Enumerate every key via gathers (analytics-style key scan)."""
+        groups = self.count // KEYS_PER_GATHER
+        for group in range(groups):
+            for position in range(KEYS_PER_GATHER):
+                pc = _PC_SCAN_LEAD if position == 0 else _PC_SCAN_BODY
+                yield pattload(
+                    self.gather_key_address(group, position),
+                    pattern=PATTERN,
+                    pc=pc,
+                    on_value=lambda data: sink(struct.unpack("<Q", data)[0]),
+                )
+                yield Compute(1)

@@ -1,0 +1,70 @@
+"""Memory-request scheduling policies.
+
+The paper's configuration uses FR-FCFS [Rixner+ ISCA'00, Zuravleff
+patent] with an open-row policy: ready row-buffer hits are served
+before older row-buffer misses. The HTAP result (Figure 11) depends on
+this policy's behaviour under contention — a streaming thread's row
+hits starve another thread's misses to the same bank — so the policy
+is pluggable and an FCFS baseline is provided for the ablation.
+"""
+
+from __future__ import annotations
+
+from repro.dram.bank import Bank
+from repro.mem.request import MemoryRequest
+
+
+class Scheduler:
+    """Chooses which queued request a newly-free bank serves next."""
+
+    name = "base"
+
+    def choose(self, candidates: list[MemoryRequest], bank: Bank) -> MemoryRequest:
+        """Pick one of ``candidates`` (all target ``bank``; non-empty)."""
+        raise NotImplementedError
+
+
+class FCFS(Scheduler):
+    """Strict arrival order, regardless of the row buffer."""
+
+    name = "FCFS"
+
+    def choose(self, candidates: list[MemoryRequest], bank: Bank) -> MemoryRequest:
+        return min(candidates, key=lambda r: (r.arrival_time, r.request_id))
+
+
+class FRFCFS(Scheduler):
+    """First-Ready FCFS: row hits first, then demand over prefetch, then age.
+
+    ``starvation_limit`` optionally caps how many consecutive row hits
+    may bypass a waiting row miss (0 disables the cap, which is the
+    paper's configuration — the Figure 11 starvation effect requires
+    it).
+    """
+
+    name = "FR-FCFS"
+
+    def __init__(self, starvation_limit: int = 0) -> None:
+        self.starvation_limit = starvation_limit
+        self._consecutive_hits: dict[int, int] = {}
+
+    def choose(self, candidates: list[MemoryRequest], bank: Bank) -> MemoryRequest:
+        def is_hit(request: MemoryRequest) -> bool:
+            assert request.location is not None
+            return bank.is_open(request.location.row)
+
+        hits = [r for r in candidates if is_hit(r)]
+        misses = [r for r in candidates if not is_hit(r)]
+        streak = self._consecutive_hits.get(bank.bank_id, 0)
+        capped = (
+            self.starvation_limit > 0
+            and streak >= self.starvation_limit
+            and misses
+        )
+        pool = misses if (capped or not hits) else hits
+        chosen = min(pool, key=lambda r: (r.is_write, r.arrival_time, r.request_id))
+        if hits and chosen in hits:
+            self._consecutive_hits[bank.bank_id] = streak + 1
+        else:
+            self._consecutive_hits[bank.bank_id] = 0
+        return chosen

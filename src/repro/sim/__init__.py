@@ -1,0 +1,23 @@
+"""System assembly: configuration, the simulated machine, run results."""
+
+from repro.sim.config import (
+    Mechanism,
+    SchedulerKind,
+    SystemConfig,
+    impulse_config,
+    plain_dram_config,
+    table1_config,
+)
+from repro.sim.results import RunResult
+from repro.sim.system import System
+
+__all__ = [
+    "Mechanism",
+    "RunResult",
+    "SchedulerKind",
+    "System",
+    "SystemConfig",
+    "impulse_config",
+    "plain_dram_config",
+    "table1_config",
+]

@@ -1,0 +1,33 @@
+"""Trace record/replay/analysis for trace-driven simulation."""
+
+from repro.trace.analysis import (
+    GatherCandidate,
+    PCProfile,
+    TraceReport,
+    analyze,
+)
+from repro.trace.format import (
+    TraceRecord,
+    cores_in,
+    load_trace,
+    record_ops,
+    replay_ops,
+    save_trace,
+    trace_from_text,
+    trace_to_text,
+)
+
+__all__ = [
+    "GatherCandidate",
+    "PCProfile",
+    "TraceRecord",
+    "TraceReport",
+    "analyze",
+    "cores_in",
+    "load_trace",
+    "record_ops",
+    "replay_ops",
+    "save_trace",
+    "trace_from_text",
+    "trace_to_text",
+]

@@ -1,0 +1,160 @@
+"""Trace analysis: find gather opportunities in recorded workloads.
+
+Given a trace, answer the question GS-DRAM adoption hinges on: *which
+static loads stream with a record stride, and how much line traffic
+would gathers save?* The analyzer computes per-PC stride profiles and
+an overall benefit estimate, mirroring (offline) what the dynamic
+:class:`~repro.cpu.autopattern.AutoPatternUnit` decides online.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.trace.format import TraceRecord
+
+
+@dataclass
+class PCProfile:
+    """Access behaviour of one static load/store instruction."""
+
+    pc: int
+    accesses: int = 0
+    stride_counts: Counter = field(default_factory=Counter)
+    patterns: Counter = field(default_factory=Counter)
+    _last_address: int | None = None
+
+    def observe(self, record: TraceRecord) -> None:
+        self.accesses += 1
+        self.patterns[record.pattern] += 1
+        if self._last_address is not None:
+            self.stride_counts[record.address - self._last_address] += 1
+        self._last_address = record.address
+
+    @property
+    def dominant_stride(self) -> int | None:
+        """The most common stride, if it covers >= 2/3 of transitions."""
+        total = sum(self.stride_counts.values())
+        if total == 0:
+            return None
+        stride, count = self.stride_counts.most_common(1)[0]
+        if count * 3 >= total * 2 and stride != 0:
+            return stride
+        return None
+
+
+@dataclass(frozen=True)
+class GatherCandidate:
+    """A static load whose stream gathers would accelerate."""
+
+    pc: int
+    accesses: int
+    stride: int
+    suggested_pattern: int
+    line_reduction: int  # lines touched now / lines with gathers
+
+
+@dataclass
+class TraceReport:
+    """Aggregate analysis of one trace."""
+
+    records: int
+    loads: int
+    stores: int
+    compute_cycles: int
+    footprint_lines: int
+    pattern_usage: dict[int, int]
+    candidates: list[GatherCandidate]
+
+    def render(self) -> str:
+        lines = [
+            f"trace: {self.records} records "
+            f"({self.loads} loads, {self.stores} stores, "
+            f"{self.compute_cycles} compute cycles), "
+            f"footprint {self.footprint_lines} lines",
+            "pattern usage: "
+            + ", ".join(f"p{p}={n}" for p, n in sorted(self.pattern_usage.items())),
+        ]
+        if self.candidates:
+            lines.append("gather candidates:")
+            for cand in self.candidates:
+                lines.append(
+                    f"  pc={cand.pc:#x}: {cand.accesses} accesses, "
+                    f"stride {cand.stride} -> pattern {cand.suggested_pattern} "
+                    f"({cand.line_reduction}x fewer lines)"
+                )
+        else:
+            lines.append("no gather candidates found")
+        return "\n".join(lines)
+
+
+def analyze(records: list[TraceRecord], line_bytes: int = 64,
+            value_bytes: int = 8, chips: int = 8) -> TraceReport:
+    """Analyse a trace for GS-DRAM gather opportunities.
+
+    A PC is a candidate when it streams pattern-0 single-value loads
+    with a dominant stride equal to one cache line (the record stride
+    the paper's Figure 8 loop exhibits): converting it to gathers
+    divides its line traffic by ``chips``. Larger power-of-2 multiples
+    of the line size are reported too, with smaller savings (partial
+    groups).
+    """
+    profiles: dict[int, PCProfile] = defaultdict(lambda: PCProfile(pc=0))
+    loads = stores = compute_cycles = 0
+    touched_lines: set[int] = set()
+    pattern_usage: Counter = Counter()
+
+    for record in records:
+        if record.kind == "C":
+            compute_cycles += record.count
+            continue
+        pattern_usage[record.pattern] += 1
+        touched_lines.add(record.address // line_bytes)
+        if record.kind == "L":
+            loads += 1
+        else:
+            stores += 1
+        if record.pc:
+            profile = profiles[record.pc]
+            if profile.pc == 0:
+                profiles[record.pc] = profile = PCProfile(pc=record.pc)
+            profile.observe(record)
+
+    candidates = []
+    for pc, profile in sorted(profiles.items()):
+        if profile.patterns.get(0, 0) != profile.accesses:
+            continue  # already uses patterns
+        stride = profile.dominant_stride
+        if stride is None or stride <= 0:
+            continue
+        if stride % line_bytes != 0:
+            continue
+        multiple = stride // line_bytes
+        if multiple & (multiple - 1):
+            continue  # not a power-of-2 line multiple
+        if multiple > chips:
+            continue
+        # One gathered line covers `chips` values that previously came
+        # from `chips / multiple`... with record stride (multiple == 1)
+        # the reduction is exactly `chips`.
+        reduction = chips // multiple
+        if reduction < 2:
+            continue
+        candidates.append(GatherCandidate(
+            pc=pc,
+            accesses=profile.accesses,
+            stride=stride,
+            suggested_pattern=chips - 1,
+            line_reduction=reduction,
+        ))
+
+    return TraceReport(
+        records=len(records),
+        loads=loads,
+        stores=stores,
+        compute_cycles=compute_cycles,
+        footprint_lines=len(touched_lines),
+        pattern_usage=dict(pattern_usage),
+        candidates=candidates,
+    )

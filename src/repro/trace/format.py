@@ -1,0 +1,143 @@
+"""Trace format: portable records of instruction streams.
+
+A trace captures a program's architectural memory behaviour — loads,
+stores, pattern IDs, PCs, and interleaved compute — independent of any
+timing outcome. Traces drive three workflows:
+
+- **record** a workload once, **replay** it against many machine
+  configurations (trace-driven simulation, the gem5/champsim style);
+- **analyse** a trace to find gather opportunities before committing to
+  a layout (see :mod:`repro.trace.analysis`);
+- ship reproducible workloads as plain text files.
+
+The on-disk format is line-oriented tab-separated text::
+
+    C  <core> <count>                      # compute burst
+    L  <core> <addr> <size> <patt> <pc>    # load
+    S  <core> <addr> <size> <patt> <pc> <payload-hex>   # store
+
+Replayed loads carry no ``on_value`` callbacks (a trace has no
+consumers); replayed stores reproduce their payloads exactly, so the
+final memory state of a replay matches the recording.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TextIO
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One architectural event."""
+
+    kind: str  # "C", "L", or "S"
+    core: int
+    count: int = 0  # compute bursts
+    address: int = 0
+    size: int = 8
+    pattern: int = 0
+    pc: int = 0
+    payload: bytes = b""
+
+    def to_line(self) -> str:
+        if self.kind == "C":
+            return f"C\t{self.core}\t{self.count}"
+        if self.kind == "L":
+            return (f"L\t{self.core}\t{self.address:#x}\t{self.size}\t"
+                    f"{self.pattern}\t{self.pc:#x}")
+        if self.kind == "S":
+            return (f"S\t{self.core}\t{self.address:#x}\t{self.size}\t"
+                    f"{self.pattern}\t{self.pc:#x}\t{self.payload.hex()}")
+        raise WorkloadError(f"unknown record kind {self.kind!r}")
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        parts = line.rstrip("\n").split("\t")
+        kind = parts[0]
+        if kind == "C":
+            return cls(kind="C", core=int(parts[1]), count=int(parts[2]))
+        if kind == "L":
+            return cls(kind="L", core=int(parts[1]),
+                       address=int(parts[2], 16), size=int(parts[3]),
+                       pattern=int(parts[4]), pc=int(parts[5], 16))
+        if kind == "S":
+            return cls(kind="S", core=int(parts[1]),
+                       address=int(parts[2], 16), size=int(parts[3]),
+                       pattern=int(parts[4]), pc=int(parts[5], 16),
+                       payload=bytes.fromhex(parts[6]))
+        raise WorkloadError(f"bad trace line: {line!r}")
+
+
+def record_ops(ops: Iterable, core: int, sink: list[TraceRecord]) -> Iterator:
+    """Tee adapter: yield ``ops`` unchanged while recording them.
+
+    Wrap a program before handing it to ``System.run``; the recorded
+    trace lands in ``sink`` as the core consumes the stream.
+    """
+    for op in ops:
+        if type(op) is Compute:
+            sink.append(TraceRecord(kind="C", core=core, count=op.count))
+        elif type(op) is Load:
+            sink.append(TraceRecord(
+                kind="L", core=core, address=op.address, size=op.size,
+                pattern=op.pattern, pc=op.pc,
+            ))
+        elif type(op) is Store:
+            sink.append(TraceRecord(
+                kind="S", core=core, address=op.address, size=op.size,
+                pattern=op.pattern, pc=op.pc, payload=bytes(op.payload),
+            ))
+        else:
+            raise WorkloadError(f"cannot record op {op!r}")
+        yield op
+
+
+def replay_ops(records: Iterable[TraceRecord], core: int = 0) -> Iterator:
+    """Turn a trace back into an op stream for ``core``."""
+    for record in records:
+        if record.core != core:
+            continue
+        if record.kind == "C":
+            yield Compute(record.count)
+        elif record.kind == "L":
+            yield Load(record.address, size=record.size,
+                       pattern=record.pattern, pc=record.pc)
+        else:
+            yield Store(record.address, record.payload,
+                        pattern=record.pattern, pc=record.pc)
+
+
+def cores_in(records: Iterable[TraceRecord]) -> list[int]:
+    """Sorted core IDs present in a trace."""
+    return sorted({record.core for record in records})
+
+
+def save_trace(records: Iterable[TraceRecord], stream: TextIO) -> int:
+    """Write records as text lines; returns the count written."""
+    count = 0
+    for record in records:
+        stream.write(record.to_line() + "\n")
+        count += 1
+    return count
+
+
+def load_trace(stream: TextIO) -> list[TraceRecord]:
+    """Read a trace written by :func:`save_trace`."""
+    return [TraceRecord.from_line(line) for line in stream if line.strip()]
+
+
+def trace_to_text(records: Iterable[TraceRecord]) -> str:
+    """Convenience: serialize to a string."""
+    buffer = io.StringIO()
+    save_trace(records, buffer)
+    return buffer.getvalue()
+
+
+def trace_from_text(text: str) -> list[TraceRecord]:
+    """Convenience: parse from a string."""
+    return load_trace(io.StringIO(text))

@@ -1,0 +1,21 @@
+"""Shared infrastructure: bit helpers, event engine, stats, reporting."""
+
+from repro.utils.bitops import ilog2, is_power_of_two, mask
+from repro.utils.events import Engine
+from repro.utils.records import ComparisonSummary, FigureResult
+from repro.utils.statistics import Histogram, StatGroup, geometric_mean
+from repro.utils.tables import render_series, render_table
+
+__all__ = [
+    "ComparisonSummary",
+    "Engine",
+    "FigureResult",
+    "Histogram",
+    "StatGroup",
+    "geometric_mean",
+    "ilog2",
+    "is_power_of_two",
+    "mask",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,121 @@
+"""Result containers shared by the harness and benchmarks.
+
+A figure in the paper is a family of series (one per mechanism) over a
+shared x-axis; :class:`FigureResult` captures exactly that, plus the
+comparison ratios the paper quotes in prose ("3X better than the column
+store"), so EXPERIMENTS.md can be generated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.utils.tables import render_series
+
+
+@dataclass
+class FigureResult:
+    """Reproduced data for one paper figure."""
+
+    figure: str
+    description: str
+    x_label: str
+    xs: list[Any] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_point(self, mechanism: str, x: Any, y: float) -> None:
+        """Append one (x, y) observation for ``mechanism``.
+
+        The x-axis is extended on first sight of a new x value; all
+        series must be populated in the same x order.
+        """
+        if x not in self.xs:
+            self.xs.append(x)
+        self.series.setdefault(mechanism, []).append(float(y))
+
+    def mean(self, mechanism: str) -> float:
+        values = self.series[mechanism]
+        return sum(values) / len(values) if values else 0.0
+
+    def speedup(self, baseline: str, contender: str) -> float:
+        """Mean(baseline) / mean(contender): >1 means contender is faster.
+
+        Matches the paper's convention for execution-time figures where
+        lower is better.
+        """
+        contender_mean = self.mean(contender)
+        if contender_mean == 0:
+            return 0.0
+        return self.mean(baseline) / contender_mean
+
+    def per_point_speedups(self, baseline: str, contender: str) -> list[float]:
+        """Point-wise baseline/contender ratios along the x-axis."""
+        base = self.series[baseline]
+        cont = self.series[contender]
+        return [b / c if c else 0.0 for b, c in zip(base, cont)]
+
+    def render(self) -> str:
+        """ASCII rendering suitable for bench output and EXPERIMENTS.md."""
+        body = render_series(
+            f"{self.figure}: {self.description}", self.x_label, self.xs, self.series
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (machine-readable results)."""
+        return {
+            "figure": self.figure,
+            "description": self.description,
+            "x_label": self.x_label,
+            "xs": list(self.xs),
+            "series": {name: list(values) for name, values in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FigureResult":
+        """Inverse of :meth:`to_dict`."""
+        figure = cls(
+            figure=payload["figure"],
+            description=payload["description"],
+            x_label=payload["x_label"],
+            xs=list(payload["xs"]),
+            series={k: list(v) for k, v in payload["series"].items()},
+            notes=list(payload.get("notes", [])),
+        )
+        return figure
+
+
+@dataclass
+class ComparisonSummary:
+    """A named set of headline ratios extracted from a FigureResult."""
+
+    figure: str
+    ratios: dict[str, float] = field(default_factory=dict)
+
+    def record(self, label: str, value: float) -> None:
+        self.ratios[label] = value
+
+    def render(self) -> str:
+        lines = [f"{self.figure} headline ratios:"]
+        lines.extend(f"  {label}: {value:.2f}x" for label, value in self.ratios.items())
+        return "\n".join(lines)
+
+
+def assert_ordering(values: dict[str, float], expected_order: Sequence[str]) -> None:
+    """Assert mechanisms appear in strictly increasing value order.
+
+    Used by benchmark self-checks: e.g. for transaction execution time,
+    ``expected_order = ("GS-DRAM", "Column Store")`` asserts GS-DRAM's
+    time is lower than the column store's.
+    """
+    for first, second in zip(expected_order, expected_order[1:]):
+        if not values[first] < values[second]:
+            raise AssertionError(
+                f"expected {first} ({values[first]}) < {second} ({values[second]}); "
+                f"all values: {values}"
+            )

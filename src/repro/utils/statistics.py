@@ -1,0 +1,100 @@
+"""Lightweight counters and derived statistics for simulator components.
+
+Every component (cache, controller, core, energy model) keeps a
+:class:`StatGroup` so the harness can dump a uniform, named set of
+counters per run without each component inventing its own reporting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class StatGroup:
+    """A named group of integer counters with safe ratio helpers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Counter[str] = Counter()
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def get(self, key: str) -> int:
+        """Current value of counter ``key`` (0 if never incremented)."""
+        return self._counters[key]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` as a float; 0.0 when denominator is 0."""
+        denom = self._counters[denominator]
+        if denom == 0:
+            return 0.0
+        return self._counters[numerator] / denom
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters, sorted by name."""
+        return dict(sorted(self._counters.items()))
+
+    def merge(self, other: "StatGroup") -> None:
+        """Fold another group's counters into this one."""
+        self._counters.update(other._counters)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatGroup({self.name}: {body})"
+
+
+@dataclass
+class Histogram:
+    """A tiny integer histogram, used e.g. for queueing-delay profiles."""
+
+    bucket_width: int = 1
+    _buckets: Counter[int] = field(default_factory=Counter)
+    _count: int = 0
+    _total: int = 0
+    _maximum: int = 0
+
+    def observe(self, value: int) -> None:
+        """Record one observation."""
+        self._buckets[value // self.bucket_width] += 1
+        self._count += 1
+        self._total += value
+        if value > self._maximum:
+            self._maximum = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def maximum(self) -> int:
+        return self._maximum
+
+    def buckets(self) -> dict[int, int]:
+        """Mapping of bucket lower bound -> observation count."""
+        return {
+            bucket * self.bucket_width: count
+            for bucket, count in sorted(self._buckets.items())
+        }
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values (speedup summaries)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

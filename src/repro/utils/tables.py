@@ -1,0 +1,73 @@
+"""ASCII table rendering for harness and benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; this module renders them as aligned monospace tables so the
+output in ``bench_output.txt`` is directly readable next to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(items: Sequence[str]) -> str:
+        return " | ".join(item.ljust(widths[i]) for i, item in enumerate(items)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[float]],
+) -> str:
+    """Render one figure-style family of series as a table.
+
+    ``series`` maps a mechanism name (e.g. "Row Store") to y-values
+    aligned with ``xs``.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for values in series.values()])
+    return render_table(headers, rows, title=name)

@@ -1,0 +1,7 @@
+"""Virtual-memory support: pattmalloc, page attributes, TLB."""
+
+from repro.vm.page_table import PageInfo, PageTable
+from repro.vm.pattmalloc import PattAllocator
+from repro.vm.tlb import TLB
+
+__all__ = ["PageInfo", "PageTable", "PattAllocator", "TLB"]

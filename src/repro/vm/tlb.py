@@ -1,0 +1,46 @@
+"""A small TLB over the page table.
+
+The paper extends each TLB entry with the shuffle flag and alternate
+pattern ID (Section 4.4) so the core can attach them to every memory
+access without a page-table walk. Functionally our page table lookup
+is already O(1); the TLB here models the *reach* statistics (hits,
+misses, evictions) so experiments can report translation behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.utils.statistics import StatGroup
+from repro.vm.page_table import PageInfo, PageTable
+
+
+class TLB:
+    """Fully-associative LRU TLB caching PageInfo per page."""
+
+    def __init__(self, page_table: PageTable, entries: int = 64) -> None:
+        self.page_table = page_table
+        self.entries = entries
+        self._cache: OrderedDict[int, PageInfo] = OrderedDict()
+        self.stats = StatGroup("tlb")
+
+    def translate(self, address: int) -> tuple[int, bool, int]:
+        """(paddr, shuffled, alt_pattern); counts hits and misses."""
+        page = address // self.page_table.page_bytes
+        info = self._cache.get(page)
+        if info is not None:
+            self._cache.move_to_end(page)
+            self.stats.add("hits")
+        else:
+            self.stats.add("misses")
+            info = self.page_table.lookup(address)
+            self._cache[page] = info
+            if len(self._cache) > self.entries:
+                self._cache.popitem(last=False)
+                self.stats.add("evictions")
+        return (address, info.shuffled, info.alt_pattern)
+
+    def flush(self) -> None:
+        """Drop all cached translations (context switch)."""
+        self._cache.clear()
+        self.stats.add("flushes")

@@ -1,0 +1,40 @@
+"""Shared fixtures for the GS-DRAM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.substrate import GSDRAM
+from repro.dram.address import Geometry
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+#: A small geometry for tests that sweep every row/column.
+SMALL_GEOMETRY = Geometry(chips=8, banks=2, rows_per_bank=8, columns_per_row=16)
+
+
+@pytest.fixture
+def gs() -> GSDRAM:
+    """The paper's GS-DRAM(8,3,3) with a small geometry."""
+    return GSDRAM.configure(chips=8, geometry=SMALL_GEOMETRY)
+
+
+@pytest.fixture
+def gs4() -> GSDRAM:
+    """The paper's 4-chip explanatory configuration, GS-DRAM(4,2,2)."""
+    geometry = Geometry(chips=4, banks=2, rows_per_bank=8, columns_per_row=16)
+    return GSDRAM.configure(
+        chips=4, shuffle_stages=2, pattern_bits=2, geometry=geometry
+    )
+
+
+@pytest.fixture
+def gs_system() -> System:
+    """A full GS-DRAM machine (Table 1 config)."""
+    return System(table1_config())
+
+
+@pytest.fixture
+def plain_system() -> System:
+    """A full commodity-DRAM machine."""
+    return System(plain_dram_config())

@@ -1,0 +1,59 @@
+"""Tests for the Dirty-Block Index."""
+
+from repro.cache.dbi import DirtyBlockIndex
+
+
+class TestMarking:
+    def test_mark_and_query(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_dirty((0, 5), (640, 0))
+        assert dbi.dirty_in_row((0, 5)) == {(640, 0)}
+
+    def test_clean_removes(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_dirty((0, 5), (640, 0))
+        dbi.mark_clean((0, 5), (640, 0))
+        assert dbi.dirty_in_row((0, 5)) == set()
+
+    def test_clean_unknown_is_noop(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_clean((0, 5), (640, 0))
+        assert dbi.total_dirty() == 0
+
+    def test_idempotent_marks(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_dirty((0, 5), (640, 0))
+        dbi.mark_dirty((0, 5), (640, 0))
+        assert dbi.total_dirty() == 1
+
+
+class TestOverlapQuery:
+    def test_restricts_to_candidates(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_dirty((0, 5), (640, 0))
+        dbi.mark_dirty((0, 5), (704, 0))
+        dbi.mark_dirty((0, 6), (9999, 0))
+        hits = dbi.dirty_overlaps((0, 5), {(640, 0), (768, 0)})
+        assert hits == {(640, 0)}
+
+    def test_empty_row(self):
+        dbi = DirtyBlockIndex()
+        assert dbi.dirty_overlaps((1, 1), {(0, 0)}) == set()
+
+    def test_patterned_keys_are_distinct(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_dirty((0, 0), (0, 0))
+        dbi.mark_dirty((0, 0), (0, 7))
+        assert dbi.dirty_overlaps((0, 0), {(0, 7)}) == {(0, 7)}
+        assert dbi.total_dirty() == 2
+
+
+class TestStats:
+    def test_query_counters(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_dirty((0, 0), (0, 0))
+        dbi.dirty_in_row((0, 0))
+        dbi.dirty_overlaps((0, 0), {(0, 0)})
+        assert dbi.stats.get("marks") == 1
+        assert dbi.stats.get("row_queries") == 1
+        assert dbi.stats.get("overlap_queries") == 1

@@ -1,0 +1,245 @@
+"""Tests for the cache hierarchy: hits, misses, MSHRs, snoops, and the
+Section 4.1 pattern-overlap coherence protocol."""
+
+import struct
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import StridePrefetcher
+from repro.core.module import GSModule
+from repro.dram.address import Geometry
+from repro.errors import CoherenceError
+from repro.mem.controller import MemoryController
+from repro.utils.events import Engine
+
+GEOMETRY = Geometry(chips=8, banks=2, rows_per_bank=8, columns_per_row=16)
+
+
+class Harness:
+    """A two-core hierarchy over a small GS module."""
+
+    def __init__(self, prefetch: bool = False, l1_size=1024, l2_size=4096):
+        self.engine = Engine()
+        self.module = GSModule(geometry=GEOMETRY)
+        self.controller = MemoryController(self.engine, self.module)
+        self.hierarchy = CacheHierarchy(
+            self.engine,
+            self.controller,
+            num_cores=2,
+            l1_size=l1_size,
+            l1_assoc=2,
+            l2_size=l2_size,
+            l2_assoc=4,
+            prefetcher=StridePrefetcher() if prefetch else None,
+        )
+
+    def load(self, core, address, pattern=0, size=8, pc=0,
+             shuffled=True, alt_pattern=7):
+        """Blocking load: returns (data, sync_hit)."""
+        box = {}
+        result = self.hierarchy.access(
+            core, address, size=size, pattern=pattern, pc=pc,
+            shuffled=shuffled, alt_pattern=alt_pattern,
+            callback=lambda data: box.update(data=data),
+        )
+        if result is not None:
+            return result[1], True
+        self.engine.run()
+        return box["data"], False
+
+    def store(self, core, address, payload, pattern=0,
+              shuffled=True, alt_pattern=7):
+        result = self.hierarchy.access(
+            core, address, size=len(payload), is_write=True, payload=payload,
+            pattern=pattern, shuffled=shuffled, alt_pattern=alt_pattern,
+            callback=lambda data: None,
+        )
+        if result is None:
+            self.engine.run()
+
+    def fill_tuple_group(self):
+        """Eight lines (one aligned tuple group) with value = global index."""
+        for line in range(8):
+            payload = struct.pack("<8Q", *range(line * 8, line * 8 + 8))
+            self.module.write_line(line * 64, payload)
+
+
+def u64s(data: bytes):
+    return list(struct.unpack(f"<{len(data) // 8}Q", data))
+
+
+class TestBasicPath:
+    def test_miss_then_hits(self):
+        h = Harness()
+        h.module.write_line(0, bytes(range(64)))
+        data, sync = h.load(0, 0)
+        assert not sync
+        assert data == bytes(range(8))
+        data, sync = h.load(0, 8)
+        assert sync  # L1 hit
+        assert data == bytes(range(8, 16))
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = Harness(l1_size=128)  # tiny L1: 2 lines
+        for line in range(4):
+            h.load(0, line * 64)
+        hits_before = h.hierarchy.l2.stats.get("hits")
+        h.load(0, 0)  # evicted from L1 long ago; L2 should serve it
+        assert h.hierarchy.l2.stats.get("hits") == hits_before + 1
+
+    def test_line_crossing_access_rejected(self):
+        h = Harness()
+        with pytest.raises(CoherenceError):
+            h.hierarchy.access(0, 60, size=8)
+
+    def test_store_miss_allocates_and_dirties(self):
+        h = Harness()
+        h.store(0, 0, b"\xff" * 8)
+        line = h.hierarchy.l1s[0].lookup(0, 0)
+        assert line is not None and line.dirty
+        data, _ = h.load(0, 0)
+        assert data == b"\xff" * 8
+
+    def test_gathered_load(self):
+        h = Harness()
+        h.fill_tuple_group()
+        data, _ = h.load(0, 0, pattern=7, size=64)
+        assert u64s(data) == list(range(0, 64, 8))
+
+
+class TestMSHR:
+    def test_concurrent_misses_merge(self):
+        h = Harness()
+        h.module.write_line(0, bytes(range(64)))
+        results = []
+        r0 = h.hierarchy.access(0, 0, callback=lambda d: results.append(d))
+        r1 = h.hierarchy.access(1, 8, callback=lambda d: results.append(d))
+        assert r0 is None and r1 is None
+        h.engine.run()
+        assert results == [bytes(range(8)), bytes(range(8, 16))]
+        assert h.hierarchy.stats.get("mshr_merges") == 1
+        assert h.controller.stats.get("cmd_RD") == 1
+
+
+class TestWritebacks:
+    def test_dirty_l1_victim_demotes_to_l2(self):
+        h = Harness(l1_size=128)  # 2-line L1
+        h.store(0, 0, b"\x11" * 8)
+        # Force eviction of line 0 with two conflicting fills.
+        h.load(0, 128 * 1)
+        h.load(0, 128 * 2)
+        l2_line = h.hierarchy.l2.lookup(0, 0, touch=False)
+        assert l2_line is not None and l2_line.dirty
+
+    def test_l2_dirty_eviction_writes_memory(self):
+        h = Harness(l1_size=128, l2_size=256)  # 4-line L2
+        h.store(0, 0, b"\x22" * 8)
+        for line in range(1, 12):
+            h.load(0, line * 64)
+        # The dirty line has been pushed all the way to DRAM.
+        assert h.module.read_line(0)[:8] == b"\x22" * 8
+        assert h.hierarchy.stats.get("writebacks") >= 1
+
+    def test_drain_dirty(self):
+        h = Harness()
+        h.store(0, 0, b"\x33" * 8)
+        written = h.hierarchy.drain_dirty()
+        assert written == 1
+        assert h.module.read_line(0)[:8] == b"\x33" * 8
+        assert h.hierarchy.dbi.total_dirty() == 0
+
+
+class TestSnooping:
+    def test_dirty_copy_migrates_between_cores(self):
+        h = Harness()
+        h.store(0, 0, b"\x44" * 8)
+        data, _ = h.load(1, 0)
+        assert data == b"\x44" * 8
+        assert h.hierarchy.stats.get("snoop_flushes") == 1
+
+    def test_store_invalidates_other_core_copy(self):
+        h = Harness()
+        h.load(0, 0)
+        h.load(1, 0)
+        h.store(0, 0, b"\x55" * 8)
+        assert h.hierarchy.l1s[1].lookup(0, 0, touch=False) is None
+        data, _ = h.load(1, 0)
+        assert data == b"\x55" * 8
+
+
+class TestPatternCoherence:
+    """Section 4.1: overlapping lines across patterns."""
+
+    def test_store_invalidates_overlapping_gathered_lines(self):
+        h = Harness()
+        h.fill_tuple_group()
+        h.load(0, 0, pattern=7, size=64)  # cache the gathered field line
+        assert h.hierarchy.l1s[0].lookup(0, 7, touch=False) is not None
+        # Writing tuple 0 (pattern 0) must invalidate the gathered line.
+        h.store(0, 0, b"\x66" * 8, pattern=0)
+        assert h.hierarchy.l1s[0].lookup(0, 7, touch=False) is None
+        assert h.hierarchy.stats.get("coherence_invalidations") >= 1
+
+    def test_gathered_reload_sees_pattern0_store(self):
+        h = Harness()
+        h.fill_tuple_group()
+        h.load(0, 0, pattern=7, size=64)
+        h.store(0, 3 * 64, struct.pack("<Q", 999), pattern=0)  # field 0, tuple 3
+        data, _ = h.load(0, 0, pattern=7, size=64)
+        values = u64s(data)
+        assert values[3] == 999
+
+    def test_pattstore_invalidates_pattern0_lines(self):
+        h = Harness()
+        h.fill_tuple_group()
+        h.load(0, 2 * 64)  # cache tuple 2 (pattern 0)
+        h.store(0, 0, struct.pack("<Q", 777), pattern=7)  # field 0 of tuple 0
+        # All pattern-0 tuple lines in the group were invalidated.
+        assert h.hierarchy.l1s[0].lookup(2 * 64, 0, touch=False) is None
+
+    def test_dirty_pattern0_flushed_before_gather_fetch(self):
+        h = Harness()
+        h.fill_tuple_group()
+        h.store(0, 5 * 64, struct.pack("<Q", 1234), pattern=0)  # dirty tuple 5
+        data, _ = h.load(1, 0, pattern=7, size=64)
+        assert u64s(data)[5] == 1234
+        assert h.hierarchy.stats.get("prefetch_flushes") >= 1
+
+    def test_pattstore_then_pattern0_read(self):
+        h = Harness()
+        h.fill_tuple_group()
+        new_fields = struct.pack("<8Q", *range(100, 108))
+        h.store(0, 0, new_fields, pattern=7)
+        # Tuple k's field 0 must now read 100+k through pattern 0.
+        for k in range(8):
+            data, _ = h.load(1, k * 64)
+            assert u64s(data)[0] == 100 + k
+
+    def test_no_overlap_work_without_alt_pattern(self):
+        h = Harness()
+        h.store(0, 0, b"\x01" * 8, shuffled=False, alt_pattern=0)
+        assert h.hierarchy.stats.get("coherence_invalidations") == 0
+
+
+class TestPrefetch:
+    def test_stream_prefetches_into_l2(self):
+        h = Harness(prefetch=True)
+        for line in range(20):
+            h.module.write_line(line * 64, bytes([line]) * 64)
+        for line in range(8):
+            h.load(0, line * 64, pc=0x42)
+        assert h.hierarchy.stats.get("prefetches_issued") > 0
+        assert h.hierarchy.stats.get("prefetch_fills") > 0
+
+    def test_prefetched_line_serves_demand(self):
+        h = Harness(prefetch=True)
+        for line in range(20):
+            h.module.write_line(line * 64, bytes([line]) * 64)
+        for line in range(6):
+            h.load(0, line * 64, pc=0x42)
+        misses_before = h.hierarchy.l2.stats.get("misses")
+        h.load(0, 6 * 64, pc=0x42)
+        # The demand either hit L2 or merged with the in-flight prefetch;
+        # it must not have caused a fresh L2 miss fetch.
+        assert h.controller.stats.get("requests_read") <= misses_before + 1

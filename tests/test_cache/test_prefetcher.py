@@ -1,0 +1,77 @@
+"""Tests for the PC-based stride prefetcher."""
+
+from repro.cache.prefetcher import StridePrefetcher
+
+
+def train(prefetcher, pc, addresses, pattern=0):
+    """Feed a sequence of addresses; return the last observation's output."""
+    out = []
+    for address in addresses:
+        out = prefetcher.observe(pc, address, pattern, pattern != 0, pattern)
+    return out
+
+
+class TestTraining:
+    def test_needs_confidence_before_predicting(self):
+        pf = StridePrefetcher(degree=4)
+        assert train(pf, 1, [0]) == []
+        assert train(pf, 1, [0, 64]) == []       # stride learned, transient
+        assert train(pf, 1, [0, 64, 128]) != []  # steady
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher(degree=4)
+        train(pf, 1, [0, 64, 128])
+        assert pf.observe(1, 1000, 0, False, 0) == []
+
+    def test_zero_stride_never_predicts(self):
+        pf = StridePrefetcher(degree=4)
+        assert train(pf, 1, [64, 64, 64, 64]) == []
+
+    def test_pcs_are_independent(self):
+        pf = StridePrefetcher(degree=2)
+        train(pf, 1, [0, 64, 128])
+        assert train(pf, 2, [0]) == []
+
+
+class TestCandidates:
+    def test_degree_line_stream(self):
+        pf = StridePrefetcher(degree=4)
+        out = train(pf, 1, [0, 64, 128])
+        assert [c.address for c in out] == [192, 256, 320, 384]
+
+    def test_large_stride_uses_raw_stride(self):
+        pf = StridePrefetcher(degree=2)
+        out = train(pf, 1, [0, 512, 1024])
+        assert [c.address for c in out] == [1536, 2048]
+
+    def test_sub_line_stride_normalised_to_lines(self):
+        pf = StridePrefetcher(degree=2, line_bytes=64)
+        out = train(pf, 1, [0, 8, 16])
+        assert [c.address for c in out] == [64, 128]
+
+    def test_negative_stride(self):
+        pf = StridePrefetcher(degree=2)
+        out = train(pf, 1, [1024, 512, 0])
+        # Candidates below zero are dropped.
+        assert all(c.address >= 0 for c in out)
+
+    def test_candidates_carry_pattern_context(self):
+        pf = StridePrefetcher(degree=1)
+        out = train(pf, 1, [0, 512, 1024], pattern=7)
+        assert out[0].pattern == 7
+        assert out[0].shuffled is True
+        assert out[0].alt_pattern == 7
+
+
+class TestTableManagement:
+    def test_table_eviction_bounds_size(self):
+        pf = StridePrefetcher(degree=1, table_size=4)
+        for pc in range(10):
+            pf.observe(pc, 0, 0, False, 0)
+        assert len(pf._table) <= 4
+
+    def test_stats(self):
+        pf = StridePrefetcher(degree=4)
+        train(pf, 1, [0, 64, 128, 192])
+        assert pf.stats.get("predictions") >= 1
+        assert pf.stats.get("candidates") >= 4

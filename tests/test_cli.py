@@ -1,0 +1,29 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_report_regenerates(self, tmp_path, monkeypatch):
+        main(["report"])
+        output = pathlib.Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+        assert output.exists()
+        text = output.read_text()
+        assert "paper vs measured" in text
+        assert "Figure 9" in text
+
+    def test_figures_scale_validation(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "--scale", "gigantic"])

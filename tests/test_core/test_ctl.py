@@ -1,0 +1,95 @@
+"""Tests for the Column Translation Logic (paper Figure 5, Section 6.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ctl import ColumnTranslationLogic, build_ctls, rank_ctl_cost
+from repro.errors import PatternError
+
+
+class TestTranslation:
+    def test_formula(self):
+        ctl = ColumnTranslationLogic(chip_id=5, num_chips=8, pattern_bits=3)
+        assert ctl.translate(column=9, pattern=3) == ((5 & 3) ^ 9)
+
+    def test_pattern_zero_is_identity(self):
+        for chip in range(8):
+            ctl = ColumnTranslationLogic(chip, 8, 3)
+            assert ctl.translate(17, 0) == 17
+
+    def test_chip_zero_is_identity_for_any_pattern(self):
+        ctl = ColumnTranslationLogic(0, 8, 3)
+        for pattern in range(8):
+            assert ctl.translate(5, pattern) == 5
+
+    def test_mux_bypasses_non_column_commands(self):
+        ctl = ColumnTranslationLogic(5, 8, 3)
+        assert ctl.translate(9, 7, is_column_command=False) == 9
+
+    def test_pattern_out_of_range_rejected(self):
+        ctl = ColumnTranslationLogic(0, 8, 3)
+        with pytest.raises(PatternError):
+            ctl.translate(0, 8)
+
+    @given(
+        chip=st.integers(min_value=0, max_value=7),
+        column=st.integers(min_value=0, max_value=127),
+        pattern=st.integers(min_value=0, max_value=7),
+    )
+    def test_translation_is_involution_in_column(self, chip, column, pattern):
+        # Applying the same modifier twice returns the original column.
+        ctl = ColumnTranslationLogic(chip, 8, 3)
+        once = ctl.translate(column, pattern)
+        assert ctl.translate(once, pattern) == column
+
+
+class TestWidePatterns:
+    def test_chip_id_repetition(self):
+        # Section 6.2: chip 3 of 8 with 6-bit patterns uses 011011.
+        ctl = ColumnTranslationLogic(3, 8, 6)
+        assert ctl.effective_chip_id == 0b011011
+
+    def test_wide_pattern_enables_larger_strides(self):
+        # With plain 3-bit chip IDs, pattern bits above bit 2 are dead;
+        # repetition revives them.
+        wide = ColumnTranslationLogic(3, 8, 6)
+        assert wide.translate(0, 0b011000) != 0
+
+    def test_narrow_pattern_truncates_chip_id(self):
+        ctl = ColumnTranslationLogic(5, 8, 2)
+        assert ctl.effective_chip_id == 5 & 0b11
+
+
+class TestValidation:
+    def test_chip_id_range(self):
+        with pytest.raises(PatternError):
+            ColumnTranslationLogic(8, 8, 3)
+        with pytest.raises(PatternError):
+            ColumnTranslationLogic(-1, 8, 3)
+
+    def test_pattern_bits_positive(self):
+        with pytest.raises(PatternError):
+            ColumnTranslationLogic(0, 8, 0)
+
+
+class TestCost:
+    def test_paper_section44_totals(self):
+        # 8 chips, 3-bit pattern: "roughly 72 logic gates and 24 bits
+        # of register storage".
+        cost = rank_ctl_cost(num_chips=8, pattern_bits=3)
+        assert cost.total_gates == 72
+        assert cost.register_bits == 24
+
+    def test_per_chip_cost(self):
+        cost = ColumnTranslationLogic(0, 8, 3).cost()
+        assert cost.and_gates == 3
+        assert cost.xor_gates == 3
+        assert cost.mux_gates == 3
+        assert cost.register_bits == 3
+
+
+class TestBuildCtls:
+    def test_one_per_chip(self):
+        ctls = build_ctls(8, 3)
+        assert [c.chip_id for c in ctls] == list(range(8))

@@ -1,0 +1,165 @@
+"""Tests for Section 6 extensions: programmable shuffle, wide patterns,
+intra-chip translation, and ECC."""
+
+import struct
+
+import pytest
+
+from repro.core.extensions import EccGSModule, EccWord, TiledChip
+from repro.core.module import GSModule
+from repro.core.shuffle import MaskedShuffle, XorFoldShuffle
+from repro.dram.address import Geometry
+from repro.errors import PatternError
+
+GEOMETRY = Geometry(chips=8, banks=2, rows_per_bank=4, columns_per_row=16)
+
+
+def pack(values):
+    return struct.pack(f"<{len(values)}Q", *values)
+
+
+def unpack(data):
+    return list(struct.unpack(f"<{len(data) // 8}Q", data))
+
+
+class TestProgrammableShuffle:
+    """Section 6.1 via the GS module."""
+
+    def test_masked_shuffle_round_trips(self):
+        module = GSModule(geometry=GEOMETRY,
+                          shuffle=MaskedShuffle(stages=3, stage_mask=0b011))
+        module.write_line(3 * 64, pack(range(8)))
+        assert unpack(module.read_line(3 * 64)) == list(range(8))
+
+    def test_masked_shuffle_supports_masked_strides_only(self):
+        module = GSModule(geometry=GEOMETRY,
+                          shuffle=MaskedShuffle(stages=3, stage_mask=0b011))
+        assert module.gathers_correctly(1)
+        assert module.gathers_correctly(3)
+        assert not module.gathers_correctly(7)
+
+    def test_xorfold_round_trips_pattern0(self):
+        module = GSModule(geometry=GEOMETRY, shuffle=XorFoldShuffle(stages=3))
+        for column in range(8):
+            module.write_line(column * 64, pack(range(column, column + 8)))
+        for column in range(8):
+            assert unpack(module.read_line(column * 64)) == list(
+                range(column, column + 8)
+            )
+
+
+class TestWidePatternModule:
+    """Section 6.2: pattern bits beyond log2(chips)."""
+
+    def test_six_bit_pattern_module(self):
+        module = GSModule(geometry=GEOMETRY, pattern_bits=6)
+        module.write_line(0, pack(range(8)))
+        assert unpack(module.read_line(0)) == list(range(8))
+
+    def test_low_patterns_behave_identically(self):
+        narrow = GSModule(geometry=GEOMETRY, pattern_bits=3)
+        wide = GSModule(geometry=GEOMETRY, pattern_bits=6)
+        for module in (narrow, wide):
+            for line in range(8):
+                module.write_line(line * 64, pack(range(line * 8, line * 8 + 8)))
+        assert unpack(narrow.read_line(0, pattern=7)) == unpack(
+            wide.read_line(0, pattern=7)
+        )
+
+
+class TestTiledChip:
+    """Section 6.3: intra-chip column translation."""
+
+    def make_chip(self) -> TiledChip:
+        return TiledChip(tiles=4, columns_per_row=8, tile_bytes=2, pattern_bits=2)
+
+    def test_round_trip_pattern0(self):
+        chip = self.make_chip()
+        chip.write_column(0, 3, b"AABBCCDD")
+        assert chip.read_column(0, 3) == b"AABBCCDD"
+
+    def test_untouched_reads_zero(self):
+        assert self.make_chip().read_column(0, 0) == bytes(8)
+
+    def test_pattern_gathers_across_tiles(self):
+        chip = self.make_chip()
+        # Write two columns with pattern 0: tile t of column c holds a
+        # distinct marker.
+        for column in range(4):
+            chip.write_column(0, column, b"".join(
+                bytes([column * 4 + tile] * 2) for tile in range(4)
+            ))
+        # Pattern 3 at column 0: tile t reads column t.
+        gathered = chip.read_column(0, 0, pattern=3)
+        assert gathered == b"".join(bytes([tile * 4 + tile] * 2) for tile in range(4))
+
+    def test_scatter_gather_round_trip(self):
+        chip = self.make_chip()
+        chip.write_column(0, 0, b"WWXXYYZZ", pattern=3)
+        assert chip.read_column(0, 0, pattern=3) == b"WWXXYYZZ"
+
+    def test_wrong_word_size_rejected(self):
+        with pytest.raises(PatternError):
+            self.make_chip().write_column(0, 0, b"short")
+
+    def test_tiles_must_be_power_of_two(self):
+        with pytest.raises(PatternError):
+            TiledChip(tiles=3, columns_per_row=8, tile_bytes=2, pattern_bits=2)
+
+
+class TestEccWord:
+    def test_parity_detects_corruption(self):
+        word = EccWord.of(b"ABCDEFGH")
+        assert word.check(b"ABCDEFGH")
+        assert not word.check(b"XBCDEFGH")
+
+
+class TestEccModule:
+    """Section 6.3: ECC coverage for gathered access patterns."""
+
+    def make(self) -> EccGSModule:
+        return EccGSModule(GSModule(geometry=GEOMETRY))
+
+    def test_pattern0_checked_read(self):
+        ecc = self.make()
+        ecc.write_line(0, pack(range(8)))
+        assert unpack(ecc.read_line_checked(0)) == list(range(8))
+
+    def test_gathered_read_is_ecc_covered(self):
+        ecc = self.make()
+        for line in range(8):
+            ecc.write_line(line * 64, pack(range(line * 8, line * 8 + 8)))
+        gathered = unpack(ecc.read_line_checked(0, pattern=7))
+        assert gathered == list(range(0, 64, 8))
+
+    def test_corruption_detected_on_pattern0(self):
+        ecc = self.make()
+        ecc.write_line(0, pack(range(8)))
+        ecc.corrupt_value(0, value_index=2)
+        with pytest.raises(PatternError, match="ECC mismatch"):
+            ecc.read_line_checked(0)
+
+    def test_corruption_detected_through_gather(self):
+        ecc = self.make()
+        for line in range(8):
+            ecc.write_line(line * 64, pack(range(line * 8, line * 8 + 8)))
+        # Corrupt field 0 of tuple 3; the stride-8 gather must notice.
+        ecc.corrupt_value(3 * 64, value_index=0)
+        with pytest.raises(PatternError, match="ECC mismatch"):
+            ecc.read_line_checked(0, pattern=7)
+
+    def test_scattered_write_updates_ecc(self):
+        ecc = self.make()
+        for line in range(8):
+            ecc.write_line(line * 64, pack([0] * 8))
+        ecc.write_line(0, pack(range(100, 108)), pattern=7)
+        # Both the gathered view and the pattern-0 views stay covered.
+        assert unpack(ecc.read_line_checked(0, pattern=7)) == list(range(100, 108))
+        for line in range(8):
+            ecc.read_line_checked(line * 64)
+
+    def test_requires_gs_module(self):
+        from repro.dram.module import DRAMModule
+
+        with pytest.raises(PatternError):
+            EccGSModule(DRAMModule(GEOMETRY))

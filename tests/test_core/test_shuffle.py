@@ -1,0 +1,115 @@
+"""Tests for column-ID data shuffling (paper Figure 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.shuffle import (
+    LSBShuffle,
+    MaskedShuffle,
+    NoShuffle,
+    XorFoldShuffle,
+    butterfly_stage,
+    shuffle,
+    shuffle_key,
+    shuffle_stagewise,
+    unshuffle,
+)
+from repro.errors import PatternError
+
+
+class TestButterflyStage:
+    def test_stage0_swaps_adjacent(self):
+        assert butterfly_stage(["a", "b", "c", "d"], 0) == ["b", "a", "d", "c"]
+
+    def test_stage1_swaps_pairs(self):
+        assert butterfly_stage(["a", "b", "c", "d"], 1) == ["c", "d", "a", "b"]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(PatternError):
+            butterfly_stage(["a", "b", "c"], 0)
+
+
+class TestFigure4:
+    """The four shuffles of the paper's Figure 4 / Figure 6."""
+
+    def test_column0_identity(self):
+        assert shuffle([0, 1, 2, 3], column=0, stages=2) == [0, 1, 2, 3]
+
+    def test_column1_swaps_adjacent(self):
+        assert shuffle([0, 1, 2, 3], column=1, stages=2) == [1, 0, 3, 2]
+
+    def test_column2_swaps_pairs(self):
+        assert shuffle([0, 1, 2, 3], column=2, stages=2) == [2, 3, 0, 1]
+
+    def test_column3_both_stages(self):
+        assert shuffle([0, 1, 2, 3], column=3, stages=2) == [3, 2, 1, 0]
+
+
+class TestClosedFormEquivalence:
+    @given(
+        column=st.integers(min_value=0, max_value=127),
+        stages=st.integers(min_value=0, max_value=3),
+    )
+    def test_stagewise_equals_xor_form(self, column, stages):
+        values = list(range(8))
+        control = shuffle_key(column, stages)
+        assert shuffle_stagewise(values, control, stages) == shuffle(
+            values, column, stages
+        )
+
+    @given(column=st.integers(min_value=0, max_value=127))
+    def test_involution(self, column):
+        values = list(range(8))
+        shuffled = shuffle(values, column, 3)
+        assert unshuffle(shuffled, column, 3) == values
+
+    @given(column=st.integers(min_value=0, max_value=127))
+    def test_is_permutation(self, column):
+        shuffled = shuffle(list(range(8)), column, 3)
+        assert sorted(shuffled) == list(range(8))
+
+    @given(column=st.integers(min_value=0, max_value=127))
+    def test_chip_of_value(self, column):
+        # Value j lands on chip j XOR (column mod 2^stages).
+        shuffled = shuffle(list(range(8)), column, 3)
+        for chip, value in enumerate(shuffled):
+            assert chip == value ^ (column & 7)
+
+
+class TestShuffleFunctions:
+    def test_lsb_uses_low_bits(self):
+        assert LSBShuffle(3).control_bits(0b10110) == 0b110
+
+    def test_lsb_negative_stages_rejected(self):
+        with pytest.raises(PatternError):
+            LSBShuffle(-1)
+
+    def test_masked_disables_stages(self):
+        fn = MaskedShuffle(stages=2, stage_mask=0b10)
+        assert fn.control_bits(0b11) == 0b10  # stage 0 disabled
+
+    def test_masked_mask_must_fit(self):
+        with pytest.raises(PatternError):
+            MaskedShuffle(stages=2, stage_mask=0b100)
+
+    def test_xorfold_combines_groups(self):
+        fn = XorFoldShuffle(stages=3)
+        assert fn.control_bits(0b101_010) == 0b111
+
+    def test_noshuffle_always_zero(self):
+        fn = NoShuffle()
+        assert fn.control_bits(123) == 0
+        assert fn.apply([1, 2, 3, 4], 123) == [1, 2, 3, 4]
+
+    @given(column=st.integers(min_value=0, max_value=1023))
+    def test_apply_invert_round_trip(self, column):
+        for fn in (LSBShuffle(3), MaskedShuffle(3, 0b101), XorFoldShuffle(3)):
+            values = list(range(8))
+            assert fn.invert(fn.apply(values, column), column) == values
+
+    def test_reprs_are_informative(self):
+        assert "LSBShuffle" in repr(LSBShuffle(3))
+        assert "MaskedShuffle" in repr(MaskedShuffle(2, 0b10))
+        assert "XorFoldShuffle" in repr(XorFoldShuffle(2))
+        assert "NoShuffle" in repr(NoShuffle())

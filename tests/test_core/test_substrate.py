@@ -1,0 +1,105 @@
+"""Tests for the GSDRAM facade and the Section 4.4 cost model."""
+
+import pytest
+
+from repro.core.substrate import GSDRAM
+from repro.dram.address import Geometry
+from repro.errors import PatternError
+
+
+class TestConfigure:
+    def test_paper_configuration_name(self, gs):
+        assert gs.name() == "GS-DRAM(8,3,3)"
+
+    def test_four_chip_name(self, gs4):
+        assert gs4.name() == "GS-DRAM(4,2,2)"
+
+    def test_default_stages_from_chips(self):
+        gs = GSDRAM.configure(chips=4, pattern_bits=2,
+                              geometry=Geometry(chips=4, banks=2,
+                                                rows_per_bank=2,
+                                                columns_per_row=8))
+        assert gs.shuffle_stages == 2
+
+    def test_geometry_chip_mismatch_rejected(self):
+        with pytest.raises(PatternError):
+            GSDRAM.configure(chips=4, geometry=Geometry(chips=8))
+
+    def test_line_and_value_bytes(self, gs):
+        assert gs.line_bytes == 64
+        assert gs.value_bytes == 8
+
+
+class TestStrideSupport:
+    def test_supported_strides(self, gs):
+        assert gs.supported_strides() == [2, 4, 8]
+
+    def test_pattern_for_stride(self, gs):
+        assert gs.pattern_for_stride(8) == 7
+
+    def test_oversized_stride_rejected(self, gs):
+        with pytest.raises(PatternError):
+            gs.pattern_for_stride(16)
+
+    def test_reads_required(self, gs):
+        assert gs.reads_required(8) == 1
+        assert gs.reads_required(8, shuffled=False) == 8
+        assert gs.reads_required(2, shuffled=False) == 2
+
+    def test_pattern_stride(self, gs):
+        assert gs.pattern_stride(7) == 8
+        assert gs.pattern_stride(2) is None
+
+
+class TestValuesAPI:
+    def test_round_trip(self, gs):
+        gs.write_values(0, list(range(8)))
+        assert gs.read_values(0) == list(range(8))
+
+    def test_figure8_field_gather(self, gs):
+        # Eight tuples of eight fields; gather field 0 with pattern 7.
+        for line in range(8):
+            gs.write_values(line * 64, [line * 8 + f for f in range(8)])
+        assert gs.read_values(0, pattern=7) == [t * 8 for t in range(8)]
+        # Field 3 of the same tuple group: issued column 3.
+        assert gs.read_values(3 * 64, pattern=7) == [t * 8 + 3 for t in range(8)]
+
+    def test_scatter_updates_fields(self, gs):
+        for line in range(8):
+            gs.write_values(line * 64, [0] * 8)
+        gs.write_values(0, [100 + t for t in range(8)], pattern=7)
+        for line in range(8):
+            values = gs.read_values(line * 64)
+            assert values[0] == 100 + line
+            assert values[1:] == [0] * 7
+
+    def test_gather_indices_match_figure7(self, gs4):
+        assert gs4.gather_indices(3, 0) == (0, 4, 8, 12)
+        assert gs4.gather_indices(1, 1) == (1, 3, 5, 7)
+
+
+class TestHardwareCost:
+    """Section 4.4's cost claims."""
+
+    def test_dram_side_gates(self, gs):
+        cost = gs.hardware_cost()
+        assert cost.dram_logic_gates == 72
+        assert cost.dram_register_bits == 24
+
+    def test_cache_area_under_paper_bound(self, gs):
+        # "less than 0.6% cache area cost"
+        cost = gs.hardware_cost()
+        assert cost.cache_tag_bits_per_line == 3
+        assert 0 < cost.cache_area_overhead < 0.006
+
+    def test_one_extra_pin_on_ddr4(self, gs):
+        # DDR4 has two spare column-address pins; a 3-bit pattern needs 1 more.
+        assert gs.hardware_cost().extra_channel_pins == 1
+
+    def test_two_bit_pattern_needs_no_pins(self, gs4):
+        assert gs4.hardware_cost().extra_channel_pins == 0
+
+    def test_render(self, gs):
+        text = gs.hardware_cost().render()
+        assert "72 gates" in text
+        assert "24 register bits" in text

@@ -1,0 +1,139 @@
+"""Tests for dynamic pattern detection (the paper's future work)."""
+
+import struct
+
+import pytest
+
+from repro.cpu.autopattern import AutoPatternUnit
+from repro.cpu.isa import Compute, Load, Store
+from repro.sim.config import table1_config
+from repro.sim.system import System
+
+
+def feed(unit, pc, addresses, **kwargs):
+    """Feed a sequence; return the conversions produced."""
+    defaults = dict(pattern=0, shuffled=True, alt_pattern=7, size=8)
+    defaults.update(kwargs)
+    return [unit.observe(pc, a, **defaults) for a in addresses]
+
+
+class TestDetection:
+    def test_requires_confidence(self):
+        unit = AutoPatternUnit()
+        out = feed(unit, 1, [0, 64, 128, 192])
+        assert out[0] is None and out[1] is None and out[2] is None
+        assert out[3] is not None
+
+    def test_non_record_stride_never_converts(self):
+        unit = AutoPatternUnit()
+        assert all(c is None for c in feed(unit, 1, [0, 8, 16, 24, 32]))
+
+    def test_stride_break_resets(self):
+        unit = AutoPatternUnit()
+        feed(unit, 1, [0, 64, 128, 192])
+        assert unit.observe(1, 10_000, 0, True, 7) is None
+        assert unit.observe(1, 10_064, 0, True, 7) is None  # rebuilding
+
+    def test_ineligible_accesses_ignored(self):
+        unit = AutoPatternUnit()
+        stream = [0, 64, 128, 192, 256]
+        assert all(c is None for c in feed(unit, 1, stream, shuffled=False))
+        unit2 = AutoPatternUnit()
+        assert all(c is None for c in feed(unit2, 1, stream, alt_pattern=0))
+        unit3 = AutoPatternUnit()
+        assert all(c is None for c in feed(unit3, 1, stream, pattern=7))
+        unit4 = AutoPatternUnit()
+        assert all(c is None for c in feed(unit4, 1, stream, size=16))
+
+    def test_non_full_stride_alt_pattern_rejected(self):
+        unit = AutoPatternUnit()
+        # alt pattern 2 (dual stride) is not 2^k - 1.
+        assert all(c is None for c in feed(unit, 1, [0, 64, 128, 192],
+                                           alt_pattern=2))
+
+    def test_table_bounded(self):
+        unit = AutoPatternUnit(table_size=4)
+        for pc in range(10):
+            unit.observe(pc, 0, 0, True, 7)
+        assert len(unit._table) <= 4
+
+
+class TestAddressMapping:
+    def test_field0_group_aligned(self):
+        unit = AutoPatternUnit()
+        # Tuple 19, field 0: group 16..23, gathered line 16, position 3.
+        assert unit._gathered_address(19 * 64, 7) == 16 * 64 + 3 * 8
+
+    def test_nonzero_field(self):
+        unit = AutoPatternUnit()
+        # Tuple 8, field 5: gathered line 8 + 5, position 0.
+        assert unit._gathered_address(8 * 64 + 5 * 8, 7) == 13 * 64
+
+    def test_mapping_preserves_value(self):
+        """The converted address returns the identical bytes."""
+        system = System(table1_config())
+        base = system.pattmalloc(64 * 64, shuffle=True, pattern=7)
+        data = b"".join(struct.pack("<8Q", *(t * 8 + f for f in range(8)))
+                        for t in range(64))
+        system.mem_write(base, data)
+        unit = AutoPatternUnit()
+        for t in (0, 5, 17, 63):
+            for f in (0, 3, 7):
+                scalar_addr = base + t * 64 + f * 8
+                converted = unit._gathered_address(scalar_addr, 7)
+                line = system.module.read_line(converted & ~63, pattern=7)
+                offset = converted & 63
+                value = struct.unpack("<Q", line[offset : offset + 8])[0]
+                assert value == t * 8 + f
+
+
+class TestEndToEnd:
+    def _scan(self, auto: bool, tuples: int = 512):
+        system = System(table1_config(auto_pattern=auto))
+        base = system.pattmalloc(tuples * 64, shuffle=True, pattern=7)
+        data = b"".join(struct.pack("<8Q", *(t * 8 + f for f in range(8)))
+                        for t in range(tuples))
+        system.mem_write(base, data)
+        total = [0]
+
+        def program():
+            for t in range(tuples):
+                yield Load(base + t * 64, pc=0x99,
+                           on_value=lambda b: total.__setitem__(
+                               0, total[0] + struct.unpack("<Q", b)[0]))
+                yield Compute(1)
+
+        result = system.run([program()])
+        assert total[0] == sum(t * 8 for t in range(tuples))
+        return system, result
+
+    def test_transparent_acceleration(self):
+        _, plain = self._scan(auto=False)
+        system, auto = self._scan(auto=True)
+        assert auto.cycles < 0.4 * plain.cycles
+        assert auto.dram_reads < plain.dram_reads / 4
+        assert system.cores[0].stats.get("auto_gathers") > 0
+
+    def test_disabled_on_plain_pages(self):
+        system = System(table1_config(auto_pattern=True))
+        base = system.malloc(512 * 64)  # no shuffle, no alt pattern
+        system.mem_write(base, bytes(512 * 64))
+        result = system.run([
+            [Load(base + t * 64, pc=0x99) for t in range(512)]
+        ])
+        assert system.cores[0].stats.get("auto_gathers") == 0
+
+    def test_stores_never_converted(self):
+        system = System(table1_config(auto_pattern=True))
+        base = system.pattmalloc(64 * 64, shuffle=True, pattern=7)
+
+        def program():
+            for t in range(64):
+                yield Store(base + t * 64, struct.pack("<Q", t), pc=0x77)
+
+        system.run([program()])
+        assert system.cores[0].stats.get("auto_gathers") == 0
+        # Functional state correct regardless.
+        for t in (0, 63):
+            raw = system.mem_read(base + t * 64, 8)
+            assert struct.unpack("<Q", raw)[0] == t

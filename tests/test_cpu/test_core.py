@@ -1,0 +1,136 @@
+"""Tests for the in-order core timing model."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.module import GSModule
+from repro.cpu.core import Core
+from repro.cpu.isa import Compute, Load, Store
+from repro.dram.address import Geometry
+from repro.errors import SimulationError
+from repro.mem.controller import MemoryController
+from repro.utils.events import Engine
+
+GEOMETRY = Geometry(chips=8, banks=2, rows_per_bank=8, columns_per_row=16)
+
+
+def make_core(num_cores=1, sync_interval=400):
+    engine = Engine()
+    module = GSModule(geometry=GEOMETRY)
+    controller = MemoryController(engine, module)
+    hierarchy = CacheHierarchy(engine, controller, num_cores=num_cores)
+    cores = [
+        Core(engine, i, hierarchy, sync_interval=sync_interval)
+        for i in range(num_cores)
+    ]
+    return engine, module, hierarchy, cores
+
+
+class TestCompute:
+    def test_pure_compute_time(self):
+        engine, _, _, (core,) = make_core()
+        core.run([Compute(100), Compute(23)])
+        engine.run()
+        assert core.finish_time == 123
+        assert core.stats.get("instructions") == 123
+
+    def test_sync_interval_bounds_skew(self):
+        engine, _, _, (core,) = make_core(sync_interval=50)
+        core.run([Compute(500)])
+        engine.run()
+        assert core.finish_time == 500  # time is exact despite chunking
+
+
+class TestMemoryTiming:
+    def test_load_hit_costs_l1_latency(self):
+        engine, module, hierarchy, (core,) = make_core()
+        module.write_line(0, bytes(64))
+        core.run([Load(0)])
+        engine.run()
+        one_load = core.finish_time
+        engine2, module2, hierarchy2, (core2,) = make_core()
+        module2.write_line(0, bytes(64))
+        core2.run([Load(0), Load(8)])
+        engine2.run()
+        # The second load is an L1 hit: +1 (instruction) +4 (L1 latency).
+        assert core2.finish_time == one_load + 1 + hierarchy2.l1s[0].hit_latency
+
+    def test_blocking_load_miss(self):
+        engine, module, _, (core,) = make_core()
+        module.write_line(0, bytes(64))
+        core.run([Load(0)])
+        engine.run()
+        # Miss latency: DRAM row miss (ACT+CL+BL+shuffle) + fill + retire.
+        assert core.finish_time > module.timing.t_rcd + module.timing.cl
+
+    def test_loaded_value_delivered(self):
+        engine, module, _, (core,) = make_core()
+        module.write_line(0, bytes(range(64)))
+        seen = []
+        core.run([Load(8, on_value=seen.append)])
+        engine.run()
+        assert seen == [bytes(range(8, 16))]
+
+    def test_store_then_load_round_trip(self):
+        engine, module, _, (core,) = make_core()
+        seen = []
+        core.run([Store(0, b"\xab" * 8), Load(0, on_value=seen.append)])
+        engine.run()
+        assert seen == [b"\xab" * 8]
+
+    def test_instruction_counts(self):
+        engine, module, _, (core,) = make_core()
+        core.run([Compute(10), Store(0, b"\x00" * 8), Load(0)])
+        engine.run()
+        assert core.stats.get("loads") == 1
+        assert core.stats.get("stores") == 1
+        assert core.stats.get("instructions") == 12
+
+
+class TestLifecycle:
+    def test_cannot_run_twice_concurrently(self):
+        engine, _, _, (core,) = make_core()
+        core.run([Compute(1)])
+        with pytest.raises(SimulationError):
+            core.run([Compute(1)])
+
+    def test_can_rerun_after_finish(self):
+        engine, _, _, (core,) = make_core()
+        core.run([Compute(5)])
+        engine.run()
+        core.run([Compute(5)])
+        engine.run()
+        assert core.stats.get("finished") == 2
+
+    def test_on_done_callback(self):
+        engine, _, _, (core,) = make_core()
+        done = []
+        core.run([Compute(7)], on_done=done.append)
+        engine.run()
+        assert done == [core]
+
+    def test_cancel_stops_infinite_stream(self):
+        engine, _, _, (core,) = make_core()
+
+        def forever():
+            while True:
+                yield Compute(10)
+
+        core.run(forever())
+        engine.schedule(500, core.cancel)
+        engine.run()
+        assert core.finish_time is not None
+        assert not core.running
+
+
+class TestMultiCore:
+    def test_two_cores_progress_concurrently(self):
+        engine, module, _, cores = make_core(num_cores=2)
+        module.write_line(0, bytes(64))
+        module.write_line(64, bytes(64))
+        for i, core in enumerate(cores):
+            core.run([Load(i * 64), Compute(50)])
+        engine.run()
+        assert all(core.finish_time is not None for core in cores)
+        # Both finish in far less than the sum of two serial runs.
+        assert max(c.finish_time for c in cores) < 2 * 400

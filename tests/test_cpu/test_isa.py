@@ -1,0 +1,47 @@
+"""Tests for the instruction-stream ops."""
+
+import struct
+
+from repro.cpu.isa import Compute, Load, Store, as_u64, pattload, pattstore, store_u64
+
+
+class TestOps:
+    def test_compute_count(self):
+        assert Compute(5).count == 5
+        assert Compute().count == 1
+
+    def test_load_defaults(self):
+        load = Load(0x40)
+        assert load.size == 8
+        assert load.pattern == 0
+        assert load.on_value is None
+
+    def test_store_size_from_payload(self):
+        assert Store(0, b"\x00" * 16).size == 16
+
+    def test_reprs(self):
+        assert "Load" in repr(Load(0x40))
+        assert "Store" in repr(Store(0, b"x"))
+        assert "Compute" in repr(Compute(2))
+
+
+class TestPatternVariants:
+    def test_pattload_is_load_with_pattern(self):
+        op = pattload(0x80, pattern=7, size=16)
+        assert isinstance(op, Load)
+        assert op.pattern == 7
+        assert op.size == 16
+
+    def test_pattstore_is_store_with_pattern(self):
+        op = pattstore(0x80, b"\x01" * 8, pattern=3)
+        assert isinstance(op, Store)
+        assert op.pattern == 3
+
+
+class TestEncodingHelpers:
+    def test_store_u64(self):
+        op = store_u64(0, 0xDEADBEEF)
+        assert struct.unpack("<Q", op.payload)[0] == 0xDEADBEEF
+
+    def test_as_u64_round_trip(self):
+        assert as_u64(struct.pack("<Q", 12345)) == 12345

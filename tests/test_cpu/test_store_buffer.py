@@ -1,0 +1,113 @@
+"""Tests for the store buffer (non-blocking stores)."""
+
+import struct
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+
+def write_stream(base, count):
+    for index in range(count):
+        yield Store(base + index * 64, struct.pack("<Q", index))
+
+
+class TestThroughput:
+    def test_overlapped_stores_faster(self):
+        def run(depth):
+            system = System(plain_dram_config(store_buffer=depth))
+            base = system.malloc(256 * 64)
+            result = system.run([write_stream(base, 256)])
+            return system, base, result
+
+        _, _, blocking = run(0)
+        system, base, buffered = run(4)
+        assert buffered.cycles < 0.5 * blocking.cycles
+        # Functional state identical.
+        for index in (0, 100, 255):
+            value = struct.unpack("<Q", system.mem_read(base + index * 64, 8))[0]
+            assert value == index
+
+    def test_overlap_counted(self):
+        system = System(plain_dram_config(store_buffer=4))
+        base = system.malloc(64 * 64)
+        system.run([write_stream(base, 64)])
+        assert system.cores[0].stats.get("stores_overlapped") > 0
+
+    def test_buffer_full_stalls(self):
+        system = System(plain_dram_config(store_buffer=1))
+        base = system.malloc(64 * 64)
+        system.run([write_stream(base, 64)])
+        assert system.cores[0].stats.get("store_buffer_stalls") > 0
+
+
+class TestOrdering:
+    def test_store_then_load_same_line(self):
+        """A load after a buffered store to the same line sees the store."""
+        system = System(plain_dram_config(store_buffer=8))
+        base = system.malloc(8 * 64)
+        seen = []
+
+        def program():
+            yield Store(base, struct.pack("<Q", 77))
+            yield Load(base, on_value=seen.append)
+
+        system.run([program()])
+        assert struct.unpack("<Q", seen[0])[0] == 77
+
+    def test_two_stores_same_line_both_land(self):
+        system = System(plain_dram_config(store_buffer=8))
+        base = system.malloc(64)
+
+        def program():
+            yield Store(base, struct.pack("<Q", 1))
+            yield Store(base + 8, struct.pack("<Q", 2))
+
+        system.run([program()])
+        values = struct.unpack("<2Q", system.mem_read(base, 16))
+        assert values == (1, 2)
+
+    def test_interleaved_stores_and_loads(self):
+        system = System(plain_dram_config(store_buffer=4))
+        base = system.malloc(64 * 64)
+        observed = []
+
+        def program():
+            for index in range(32):
+                yield Store(base + index * 64, struct.pack("<Q", index * 3))
+                if index % 4 == 3:
+                    yield Load(base + (index - 1) * 64,
+                               on_value=lambda b: observed.append(
+                                   struct.unpack("<Q", b)[0]))
+
+        system.run([program()])
+        assert observed == [(i - 1) * 3 for i in range(3, 32, 4)]
+
+
+class TestDrain:
+    def test_finish_waits_for_drain(self):
+        """finish_time includes outstanding store completions."""
+        system = System(plain_dram_config(store_buffer=8))
+        base = system.malloc(8 * 64)
+        result = system.run([[Store(base, struct.pack("<Q", 5))]])
+        # The run includes the store's DRAM write latency, not just the
+        # 1-cycle issue.
+        assert result.cycles > 50
+        assert struct.unpack("<Q", system.mem_read(base, 8))[0] == 5
+
+    def test_gs_patterned_stores_with_buffer(self):
+        system = System(table1_config(store_buffer=8))
+        base = system.pattmalloc(8 * 64, shuffle=True, pattern=7)
+        system.mem_write(base, bytes(8 * 64))
+        from repro.cpu.isa import pattstore
+
+        def program():
+            payload = struct.pack("<8Q", *range(100, 108))
+            yield pattstore(base, payload, pattern=7)
+
+        system.run([program()])
+        for t in range(8):
+            value = struct.unpack("<Q", system.mem_read(base + t * 64, 8))[0]
+            assert value == 100 + t

@@ -1,0 +1,126 @@
+"""Tests for filtered and grouped analytical queries."""
+
+import random
+
+import pytest
+
+from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
+from repro.db.queries import (
+    Comparison,
+    FilterQuery,
+    FilterResult,
+    GroupByQuery,
+    filter_ops,
+    groupby_ops,
+    oracle_filter,
+    oracle_groupby,
+)
+from repro.db.schema import TableSchema
+from repro.errors import WorkloadError
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+TUPLES = 512
+
+
+def make_rows(seed=3):
+    rng = random.Random(seed)
+    return [[rng.randrange(100) for _ in range(8)] for _ in range(TUPLES)]
+
+
+def attach(layout_cls):
+    layout = layout_cls()
+    system = System(
+        table1_config() if layout_cls is GSDRAMStore else plain_dram_config()
+    )
+    layout.attach(system, TUPLES)
+    rows = make_rows()
+    layout.load_rows(rows)
+    return system, layout, rows
+
+
+class TestComparison:
+    def test_operators(self):
+        assert Comparison.LT.apply(1, 2)
+        assert not Comparison.LT.apply(2, 2)
+        assert Comparison.GE.apply(2, 2)
+        assert Comparison.EQ.apply(3, 3)
+        assert not Comparison.EQ.apply(3, 4)
+
+
+class TestFilterQueries:
+    @pytest.mark.parametrize("layout_cls", [RowStore, ColumnStore, GSDRAMStore])
+    def test_count_matches_oracle(self, layout_cls):
+        system, layout, rows = attach(layout_cls)
+        query = FilterQuery(predicate_field=2, op=Comparison.LT, threshold=40)
+        result = FilterResult()
+        system.run([filter_ops(layout, query, result)])
+        expected = oracle_filter(rows, query)
+        assert result.matches == expected.matches
+        assert result.aggregate == expected.aggregate
+
+    @pytest.mark.parametrize("layout_cls", [RowStore, ColumnStore, GSDRAMStore])
+    def test_filtered_sum_matches_oracle(self, layout_cls):
+        system, layout, rows = attach(layout_cls)
+        query = FilterQuery(predicate_field=0, op=Comparison.GE, threshold=50,
+                            value_field=3)
+        result = FilterResult()
+        system.run([filter_ops(layout, query, result)])
+        expected = oracle_filter(rows, query)
+        assert (result.matches, result.aggregate) == (
+            expected.matches, expected.aggregate
+        )
+
+    def test_equality_predicate(self):
+        system, layout, rows = attach(GSDRAMStore)
+        query = FilterQuery(predicate_field=1, op=Comparison.EQ, threshold=7,
+                            value_field=2)
+        result = FilterResult()
+        system.run([filter_ops(layout, query, result)])
+        expected = oracle_filter(rows, query)
+        assert result.aggregate == expected.aggregate
+
+    def test_same_field_rejected(self):
+        system, layout, _ = attach(GSDRAMStore)
+        query = FilterQuery(predicate_field=1, op=Comparison.LT, threshold=5,
+                            value_field=1)
+        with pytest.raises(WorkloadError):
+            list(filter_ops(layout, query, FilterResult()))
+
+    def test_gs_traffic_is_two_gathered_passes(self):
+        system, layout, _ = attach(GSDRAMStore)
+        query = FilterQuery(predicate_field=0, op=Comparison.LT, threshold=50,
+                            value_field=1)
+        system.run([filter_ops(layout, query, FilterResult())])
+        # Two single-field passes: 2 * tuples/8 gathered lines.
+        assert system.controller.stats.get("cmd_RD") == 2 * TUPLES // 8
+
+    def test_labels(self):
+        query = FilterQuery(0, Comparison.LT, 10, value_field=2)
+        assert "sum(f2)" in query.label
+        count = FilterQuery(0, Comparison.LT, 10)
+        assert "count" in count.label
+
+
+class TestGroupByQueries:
+    @pytest.mark.parametrize("layout_cls", [RowStore, ColumnStore, GSDRAMStore])
+    def test_matches_oracle(self, layout_cls):
+        system, layout, rows = attach(layout_cls)
+        query = GroupByQuery(key_field=4, value_field=5)
+        result: dict[int, int] = {}
+        system.run([groupby_ops(layout, query, result)])
+        assert result == oracle_groupby(rows, query)
+
+    def test_same_field_rejected(self):
+        system, layout, _ = attach(GSDRAMStore)
+        with pytest.raises(WorkloadError):
+            list(groupby_ops(layout, GroupByQuery(1, 1), {}))
+
+    def test_gs_faster_than_row_store(self):
+        query = GroupByQuery(key_field=0, value_field=7)
+        cycles = {}
+        for layout_cls in (RowStore, GSDRAMStore):
+            system, layout, _ = attach(layout_cls)
+            run = system.run([groupby_ops(layout, query, {})])
+            cycles[layout_cls.__name__] = run.cycles
+        assert cycles["GSDRAMStore"] < 0.5 * cycles["RowStore"]

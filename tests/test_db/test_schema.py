@@ -1,0 +1,36 @@
+"""Tests for the table schema."""
+
+import pytest
+
+from repro.db.schema import TableSchema
+from repro.errors import WorkloadError
+
+
+class TestSchema:
+    def test_paper_defaults(self):
+        schema = TableSchema()
+        assert schema.num_fields == 8
+        assert schema.tuple_bytes == 64
+        assert schema.gather_pattern == 7
+
+    def test_power_of_two_required(self):
+        with pytest.raises(WorkloadError):
+            TableSchema(num_fields=6)
+
+    def test_field_width_fixed(self):
+        with pytest.raises(WorkloadError):
+            TableSchema(field_bytes=4)
+
+    def test_validate_field(self):
+        schema = TableSchema()
+        schema.validate_field(0)
+        schema.validate_field(7)
+        with pytest.raises(WorkloadError):
+            schema.validate_field(8)
+        with pytest.raises(WorkloadError):
+            schema.validate_field(-1)
+
+    def test_four_field_variant(self):
+        schema = TableSchema(num_fields=4)
+        assert schema.tuple_bytes == 32
+        assert schema.gather_pattern == 3

@@ -1,0 +1,101 @@
+"""Tests for geometry and address mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapping, Geometry, MappingPolicy
+from repro.errors import AddressError, ConfigError
+
+
+class TestGeometry:
+    def test_default_is_table1_like(self):
+        geometry = Geometry()
+        assert geometry.chips == 8
+        assert geometry.line_bytes == 64
+        assert geometry.row_bytes == 8192
+
+    def test_capacity(self):
+        geometry = Geometry(banks=2, rows_per_bank=4, columns_per_row=8)
+        assert geometry.capacity_bytes == 2 * 4 * 8 * 64
+        assert geometry.lines == 2 * 4 * 8
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            Geometry(banks=3)
+
+
+def small_mapping(policy=MappingPolicy.ROW_BANK_COLUMN) -> AddressMapping:
+    return AddressMapping(
+        Geometry(banks=4, rows_per_bank=8, columns_per_row=16), policy
+    )
+
+
+class TestDecode:
+    def test_offset_bits(self):
+        mapping = small_mapping()
+        loc = mapping.decode(65)
+        assert loc.offset == 1
+        assert loc.column == 1
+
+    def test_row_bank_column_order(self):
+        mapping = small_mapping()
+        # Consecutive lines sweep columns within one bank's row.
+        first = mapping.decode(0)
+        second = mapping.decode(64)
+        assert (first.bank, first.row) == (second.bank, second.row)
+        assert second.column == first.column + 1
+        # After a full row, the bank changes before the row does.
+        after_row = mapping.decode(16 * 64)
+        assert after_row.bank == first.bank + 1
+        assert after_row.row == first.row
+
+    def test_bank_interleaved_order(self):
+        mapping = small_mapping(MappingPolicy.BANK_INTERLEAVED)
+        first = mapping.decode(0)
+        second = mapping.decode(64)
+        assert second.bank == first.bank + 1
+        assert second.column == first.column
+
+    def test_out_of_range_rejected(self):
+        mapping = small_mapping()
+        with pytest.raises(AddressError):
+            mapping.decode(mapping.geometry.capacity_bytes)
+        with pytest.raises(AddressError):
+            mapping.decode(-1)
+
+
+class TestEncodeDecodeInverse:
+    @given(st.integers(min_value=0, max_value=4 * 8 * 16 * 64 - 1))
+    def test_round_trip_row_bank_column(self, address):
+        mapping = small_mapping()
+        loc = mapping.decode(address)
+        assert mapping.encode(loc.bank, loc.row, loc.column, loc.offset) == address
+
+    @given(st.integers(min_value=0, max_value=4 * 8 * 16 * 64 - 1))
+    def test_round_trip_bank_interleaved(self, address):
+        mapping = small_mapping(MappingPolicy.BANK_INTERLEAVED)
+        loc = mapping.decode(address)
+        assert mapping.encode(loc.bank, loc.row, loc.column, loc.offset) == address
+
+    def test_encode_validates_ranges(self):
+        mapping = small_mapping()
+        with pytest.raises(AddressError):
+            mapping.encode(bank=4, row=0, column=0)
+        with pytest.raises(AddressError):
+            mapping.encode(bank=0, row=8, column=0)
+        with pytest.raises(AddressError):
+            mapping.encode(bank=0, row=0, column=16)
+        with pytest.raises(AddressError):
+            mapping.encode(bank=0, row=0, column=0, offset=64)
+
+
+class TestLineAddress:
+    def test_rounds_down(self):
+        mapping = small_mapping()
+        assert mapping.line_address(130) == 128
+        assert mapping.line_address(128) == 128
+
+    def test_line_key(self):
+        loc = small_mapping().decode(64 * 3 + 7)
+        assert loc.line_key == (loc.bank, loc.row, loc.column)

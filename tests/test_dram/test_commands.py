@@ -1,0 +1,94 @@
+"""Tests for DRAM command types and the controller's command trace."""
+
+from repro.core.module import GSModule
+from repro.dram.address import Geometry
+from repro.dram.commands import (
+    Command,
+    CommandKind,
+    activate,
+    precharge,
+    read,
+    refresh,
+    write,
+)
+from repro.mem.controller import MemoryController
+from repro.mem.request import MemoryRequest, RequestKind
+from repro.utils.events import Engine
+
+
+class TestConstructors:
+    def test_activate(self):
+        cmd = activate(2, 17)
+        assert cmd.kind is CommandKind.ACTIVATE
+        assert (cmd.bank, cmd.row) == (2, 17)
+
+    def test_read_with_pattern(self):
+        cmd = read(1, 5, pattern=7)
+        assert cmd.kind is CommandKind.READ
+        assert cmd.pattern == 7
+
+    def test_write(self):
+        assert write(0, 3).kind is CommandKind.WRITE
+
+    def test_precharge(self):
+        assert precharge(4).bank == 4
+
+    def test_refresh(self):
+        assert refresh().kind is CommandKind.REFRESH
+
+    def test_str_forms(self):
+        assert str(activate(1, 2)) == "ACT(b1, r2)"
+        assert str(read(0, 5, 7)) == "RD(b0, c5, p7)"
+        assert str(precharge(3)) == "PRE(b3)"
+        assert str(refresh()) == "REF"
+
+    def test_frozen(self):
+        cmd = read(0, 0)
+        try:
+            cmd.bank = 1
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestCommandTrace:
+    def test_trace_records_full_sequence(self):
+        engine = Engine()
+        module = GSModule(geometry=Geometry(banks=2, rows_per_bank=8,
+                                            columns_per_row=16))
+        controller = MemoryController(engine, module, trace_commands=True)
+        controller.submit(MemoryRequest(0, RequestKind.READ, pattern=7))
+        engine.run()
+        kinds = [command.kind for _, command in controller.command_trace]
+        assert kinds == [CommandKind.ACTIVATE, CommandKind.READ]
+        _, read_cmd = controller.command_trace[-1]
+        assert read_cmd.pattern == 7
+        assert read_cmd.column == 0
+
+    def test_trace_includes_precharge_on_conflict(self):
+        engine = Engine()
+        geometry = Geometry(banks=2, rows_per_bank=8, columns_per_row=16)
+        module = GSModule(geometry=geometry)
+        controller = MemoryController(engine, module, trace_commands=True)
+        controller.submit(MemoryRequest(0, RequestKind.READ))
+        engine.run()
+        conflict = module.mapping.encode(bank=0, row=1, column=0)
+        controller.submit(MemoryRequest(conflict, RequestKind.READ))
+        engine.run()
+        kinds = [command.kind for _, command in controller.command_trace]
+        assert kinds == [
+            CommandKind.ACTIVATE, CommandKind.READ,
+            CommandKind.PRECHARGE, CommandKind.ACTIVATE, CommandKind.READ,
+        ]
+
+    def test_trace_times_monotonic(self):
+        engine = Engine()
+        module = GSModule(geometry=Geometry(banks=2, rows_per_bank=8,
+                                            columns_per_row=16))
+        controller = MemoryController(engine, module, trace_commands=True)
+        for i in range(6):
+            controller.submit(MemoryRequest(i * 64, RequestKind.READ))
+        engine.run()
+        times = [time for time, _ in controller.command_trace]
+        assert times == sorted(times)

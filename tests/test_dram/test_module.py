@@ -1,0 +1,63 @@
+"""Tests for the plain DRAM module's functional layer."""
+
+import pytest
+
+from repro.dram.address import Geometry
+from repro.dram.module import DRAMModule
+from repro.errors import AddressError
+
+
+def make_module() -> DRAMModule:
+    return DRAMModule(Geometry(banks=2, rows_per_bank=4, columns_per_row=8))
+
+
+class TestLines:
+    def test_round_trip(self):
+        module = make_module()
+        line = bytes(range(64))
+        module.write_line(128, line)
+        assert module.read_line(128) == line
+
+    def test_unaligned_rejected(self):
+        module = make_module()
+        with pytest.raises(AddressError):
+            module.read_line(3)
+        with pytest.raises(AddressError):
+            module.write_line(65, bytes(64))
+
+    def test_no_pattern_support(self):
+        assert make_module().supports_patterns is False
+
+
+class TestBytes:
+    def test_spanning_lines(self):
+        module = make_module()
+        payload = bytes(range(200)) + bytes(56)  # 256 bytes over 4 lines
+        module.write_bytes(32, payload)  # unaligned start
+        assert module.read_bytes(32, len(payload)) == payload
+
+    def test_read_modify_write_preserves_neighbours(self):
+        module = make_module()
+        module.write_line(0, b"\xaa" * 64)
+        module.write_bytes(8, b"\x55" * 8)
+        line = module.read_line(0)
+        assert line[:8] == b"\xaa" * 8
+        assert line[8:16] == b"\x55" * 8
+        assert line[16:] == b"\xaa" * 48
+
+    def test_shuffled_flag_ignored(self):
+        # Plain modules accept (and ignore) the GS interface flag.
+        module = make_module()
+        module.write_line(0, bytes(64), 0, True)
+        assert module.read_line(0, 0, True) == bytes(64)
+
+
+class TestTimingState:
+    def test_banks_built_per_geometry(self):
+        module = make_module()
+        assert len(module.banks) == 2
+
+    def test_timing_scaled_to_cpu_cycles(self):
+        module = make_module()
+        # DDR3-1600 CL=11 bus cycles at 5 CPU cycles per bus cycle.
+        assert module.timing.cl == 55

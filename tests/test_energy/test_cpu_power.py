@@ -1,0 +1,34 @@
+"""Tests for the McPAT-style CPU energy model."""
+
+import pytest
+
+from repro.energy.cpu_power import CPUPowerParams, cpu_energy
+
+
+class TestCPUEnergy:
+    def test_static_scales_with_time_and_cores(self):
+        one = cpu_energy(4_000_000, 0, 0, 0, cores=1)
+        two = cpu_energy(4_000_000, 0, 0, 0, cores=2)
+        long = cpu_energy(8_000_000, 0, 0, 0, cores=1)
+        assert two.static_mj == pytest.approx(2 * one.static_mj)
+        assert long.static_mj == pytest.approx(2 * one.static_mj)
+
+    def test_dynamic_scales_with_events(self):
+        a = cpu_energy(1000, instructions=1000, l1_accesses=100, l2_accesses=10)
+        b = cpu_energy(1000, instructions=2000, l1_accesses=200, l2_accesses=20)
+        assert b.dynamic_mj == pytest.approx(2 * a.dynamic_mj)
+
+    def test_l2_costs_more_than_l1(self):
+        params = CPUPowerParams()
+        assert params.l2_access_nj > params.l1_access_nj
+
+    def test_total(self):
+        energy = cpu_energy(4_000_000, 1000, 500, 50)
+        assert energy.total_mj == pytest.approx(
+            energy.static_mj + energy.dynamic_mj
+        )
+
+    def test_one_second_static_magnitude(self):
+        # 1.2 W core for 1 second = 1200 mJ.
+        energy = cpu_energy(4_000_000_000, 0, 0, 0, cores=1, cpu_ghz=4.0)
+        assert energy.static_mj == pytest.approx(1200.0)

@@ -1,0 +1,60 @@
+"""Tests for the DRAMPower-style energy model."""
+
+import pytest
+
+from repro.dram.timing import ddr3_1600
+from repro.energy.dram_power import (
+    ddr3_1600_currents,
+    derive_command_energies,
+    dram_energy,
+)
+
+
+class TestCommandEnergies:
+    def test_all_positive(self):
+        energies = derive_command_energies(ddr3_1600_currents(), ddr3_1600())
+        assert energies.activate_nj > 0
+        assert energies.read_nj > 0
+        assert energies.write_nj > 0
+        assert energies.refresh_nj > 0
+        assert energies.background_mw > 0
+
+    def test_refresh_dwarfs_read(self):
+        energies = derive_command_energies(ddr3_1600_currents(), ddr3_1600())
+        assert energies.refresh_nj > 10 * energies.read_nj
+
+    def test_read_costs_more_than_write(self):
+        # IDD4R > IDD4W in the profile.
+        energies = derive_command_energies(ddr3_1600_currents(), ddr3_1600())
+        assert energies.read_nj > energies.write_nj
+
+    def test_render(self):
+        text = derive_command_energies(ddr3_1600_currents(), ddr3_1600()).render()
+        assert "nJ" in text and "mW" in text
+
+
+class TestRunEnergy:
+    def test_scales_with_commands(self):
+        small = dram_energy({"cmd_ACT": 10, "cmd_RD": 100}, runtime_cycles=1000)
+        large = dram_energy({"cmd_ACT": 20, "cmd_RD": 200}, runtime_cycles=1000)
+        assert large.dynamic_mj == pytest.approx(2 * small.dynamic_mj)
+
+    def test_background_scales_with_time(self):
+        short = dram_energy({}, runtime_cycles=1_000_000)
+        long = dram_energy({}, runtime_cycles=2_000_000)
+        assert long.background_mj == pytest.approx(2 * short.background_mj)
+        assert short.dynamic_mj == 0.0
+
+    def test_total(self):
+        energy = dram_energy({"cmd_RD": 1000}, runtime_cycles=4_000_000)
+        assert energy.total_mj == pytest.approx(
+            energy.dynamic_mj + energy.background_mj
+        )
+
+    def test_fewer_accesses_less_energy(self):
+        # The GS-DRAM effect: 8x fewer reads -> much less dynamic energy.
+        row_store = dram_energy({"cmd_RD": 8000, "cmd_ACT": 64},
+                                runtime_cycles=1_000_000)
+        gs = dram_energy({"cmd_RD": 1000, "cmd_ACT": 64},
+                         runtime_cycles=1_000_000)
+        assert gs.dynamic_mj < row_store.dynamic_mj

@@ -1,0 +1,34 @@
+"""Tests for the combined system energy model."""
+
+import pytest
+
+from repro.energy.model import system_energy
+
+
+class TestSystemEnergy:
+    def test_combines_cpu_and_dram(self):
+        breakdown = system_energy(
+            runtime_cycles=4_000_000,
+            instructions=100_000,
+            l1_accesses=50_000,
+            l2_accesses=5_000,
+            command_counts={"cmd_ACT": 100, "cmd_RD": 5000, "cmd_WR": 1000},
+        )
+        assert breakdown.total_mj == pytest.approx(
+            breakdown.cpu.total_mj + breakdown.dram.total_mj
+        )
+        assert breakdown.cpu.total_mj > 0
+        assert breakdown.dram.total_mj > 0
+
+    def test_render(self):
+        breakdown = system_energy(1000, 10, 10, 1, {"cmd_RD": 1})
+        assert "mJ" in breakdown.render()
+
+    def test_memory_heavy_run_has_higher_dram_share(self):
+        light = system_energy(1_000_000, 10_000, 10_000, 100,
+                              {"cmd_RD": 100, "cmd_ACT": 10})
+        heavy = system_energy(1_000_000, 10_000, 10_000, 100,
+                              {"cmd_RD": 100_000, "cmd_ACT": 10_000})
+        light_share = light.dram.total_mj / light.total_mj
+        heavy_share = heavy.dram.total_mj / heavy.total_mj
+        assert heavy_share > light_share

@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ConfigError", "AddressError", "PatternError",
+                     "ProtocolError", "CoherenceError", "AllocationError",
+                     "SimulationError", "WorkloadError"):
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PatternError("x")
+
+    def test_not_bare_exception_subtypes_of_each_other(self):
+        assert not issubclass(errors.PatternError, errors.AddressError)
+
+    def test_library_raises_only_its_own_errors_on_bad_config(self):
+        from repro.core.substrate import GSDRAM
+        from repro.dram.address import Geometry
+
+        with pytest.raises(errors.ReproError):
+            GSDRAM.configure(chips=4, geometry=Geometry(chips=8))
+        with pytest.raises(errors.ReproError):
+            Geometry(banks=3)

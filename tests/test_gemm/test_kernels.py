@@ -1,0 +1,62 @@
+"""Tests for the GEMM kernels and autotuner (small sizes)."""
+
+import pytest
+
+from repro.gemm.autotune import best_gs, best_tiled, run_gs, run_naive, run_tiled
+
+N = 16
+
+
+class TestFunctionalCorrectness:
+    def test_naive(self):
+        assert run_naive(N).verified
+
+    def test_tiled(self):
+        assert run_tiled(N, tile=8).verified
+        assert run_tiled(N, tile=16).verified
+
+    def test_gs(self):
+        assert run_gs(N, tile=8).verified
+        assert run_gs(N, tile=16).verified
+
+
+class TestPerformanceShape:
+    def test_gs_beats_tiled_at_same_tile(self):
+        tiled = run_tiled(N, tile=8)
+        gs = run_gs(N, tile=8)
+        assert gs.cycles < tiled.cycles
+
+    def test_tiled_beats_naive_at_32(self):
+        naive = run_naive(32)
+        tiled = best_tiled(32)
+        assert tiled.cycles < naive.cycles
+
+    def test_gs_uses_fewer_instructions(self):
+        # No software gather: fewer loads + no pack ops.
+        tiled = run_tiled(N, tile=8)
+        gs = run_gs(N, tile=8)
+        assert gs.result.instructions < tiled.result.instructions
+
+    def test_gs_loads_halved_for_b(self):
+        tiled = run_tiled(N, tile=8)
+        gs = run_gs(N, tile=8)
+        # Tiled: per 2 k-values -> 1 A load + 2 B loads = 3 loads.
+        # GS: 1 A load + 1 pattload = 2 loads.
+        assert gs.result.loads < tiled.result.loads
+
+
+class TestAutotune:
+    def test_best_tiled_picks_minimum(self):
+        candidates = {tile: run_tiled(N, tile).cycles for tile in (8, 16)}
+        best = best_tiled(N, tiles=(8, 16))
+        assert best.cycles == min(candidates.values())
+        assert best.kernel == "Best Tiling"
+
+    def test_best_tiled_skips_non_dividing_tiles(self):
+        best = best_tiled(N, tiles=(8, 16, 32))  # 32 does not divide 16
+        assert best.tile in (8, 16)
+
+    def test_best_gs(self):
+        best = best_gs(N, tiles=(8, 16))
+        assert best.kernel == "GS-DRAM"
+        assert best.verified

@@ -1,0 +1,99 @@
+"""Tests for matrix layouts in simulated memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gemm.matrix import BLOCK, BlockedMatrix, DenseMatrix, random_matrix
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+N = 16
+
+
+class TestDenseMatrix:
+    def test_round_trip(self):
+        system = System(plain_dram_config())
+        matrix = DenseMatrix(system, N)
+        values = random_matrix(N, seed=1)
+        matrix.load(values)
+        assert np.array_equal(matrix.read(), values)
+
+    def test_row_major_addressing(self):
+        system = System(plain_dram_config())
+        matrix = DenseMatrix(system, N)
+        assert matrix.address(0, 1) - matrix.address(0, 0) == 8
+        assert matrix.address(1, 0) - matrix.address(0, 0) == N * 8
+
+    def test_size_must_be_block_multiple(self):
+        system = System(plain_dram_config())
+        with pytest.raises(WorkloadError):
+            DenseMatrix(system, 12)
+
+    def test_shape_checked_on_load(self):
+        system = System(plain_dram_config())
+        matrix = DenseMatrix(system, N)
+        with pytest.raises(WorkloadError):
+            matrix.load(np.zeros((8, 8), dtype=np.int64))
+
+
+class TestBlockedMatrix:
+    def test_round_trip_plain(self):
+        system = System(plain_dram_config())
+        matrix = BlockedMatrix(system, N, gs=False)
+        values = random_matrix(N, seed=2)
+        matrix.load(values)
+        assert np.array_equal(matrix.read(), values)
+
+    def test_round_trip_gs(self):
+        system = System(table1_config())
+        matrix = BlockedMatrix(system, N, gs=True)
+        values = random_matrix(N, seed=2)
+        matrix.load(values)
+        assert np.array_equal(matrix.read(), values)
+
+    def test_block_is_contiguous(self):
+        system = System(plain_dram_config())
+        matrix = BlockedMatrix(system, N, gs=False)
+        # Within a block, consecutive rows are 64 bytes apart.
+        assert matrix.address(1, 0) - matrix.address(0, 0) == 64
+        # The next block starts after 8 lines.
+        assert matrix.address(0, BLOCK) - matrix.address(0, 0) == BLOCK * 64
+
+    def test_element_addressing_matches_contents(self):
+        system = System(plain_dram_config())
+        matrix = BlockedMatrix(system, N, gs=False)
+        values = random_matrix(N, seed=4)
+        matrix.load(values)
+        raw = system.mem_read(matrix.address(9, 13), 8)
+        assert int.from_bytes(raw, "little") == int(values[9, 13])
+
+    def test_gather_address_reads_block_column(self):
+        system = System(table1_config())
+        matrix = BlockedMatrix(system, N, gs=True)
+        values = random_matrix(N, seed=5)
+        matrix.load(values)
+        # Gathered line for block (1, 0), column-in-block 3, pattern 7:
+        # positions 0..7 are B[8..15][3].
+        for pos in range(BLOCK):
+            address = matrix.gather_address(1, 0, 3, pos)
+            line_base = address & ~63
+            data = system.module.read_line(line_base, pattern=7)
+            offset = address - line_base
+            value = int.from_bytes(data[offset : offset + 8], "little")
+            assert value == int(values[8 + pos, 3])
+
+    def test_gather_address_requires_gs(self):
+        system = System(plain_dram_config())
+        matrix = BlockedMatrix(system, N, gs=False)
+        with pytest.raises(WorkloadError):
+            matrix.gather_address(0, 0, 0, 0)
+
+
+class TestRandomMatrix:
+    def test_deterministic(self):
+        assert np.array_equal(random_matrix(8, seed=1), random_matrix(8, seed=1))
+
+    def test_bounds(self):
+        values = random_matrix(16, seed=1, low=0, high=16)
+        assert values.min() >= 0 and values.max() < 16

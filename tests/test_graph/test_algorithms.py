@@ -1,0 +1,104 @@
+"""Tests for graph algorithms, verified against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    FIELD_LEVEL,
+    FIELD_VALUE,
+    GraphStore,
+    UNREACHED,
+    bfs_ops,
+    field_analytics_ops,
+    initialise_records,
+    vertex_update_ops,
+)
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+
+def random_graph(vertices=64, edges=200, seed=7):
+    rng = random.Random(seed)
+    edge_list = [(rng.randrange(vertices), rng.randrange(vertices))
+                 for _ in range(edges)]
+    labels = [rng.randrange(4) for _ in range(vertices)]
+    return edge_list, labels
+
+
+def make(gs=True, vertices=64, seed=7):
+    edge_list, labels = random_graph(vertices, seed=seed)
+    system = System(table1_config() if gs else plain_dram_config())
+    store = GraphStore(system, vertices, edge_list, gs=gs)
+    initialise_records(store, labels)
+    return system, store, edge_list, labels
+
+
+class TestFieldAnalytics:
+    @pytest.mark.parametrize("gs", [True, False])
+    def test_degree_sum_and_labels(self, gs):
+        system, store, edge_list, labels = make(gs=gs)
+        result = {}
+        system.run([field_analytics_ops(store, result)])
+        assert result["degree_sum"] == store.num_edges
+        for label in set(labels):
+            assert result["label_counts"][label] == labels.count(label)
+
+    def test_gs_traffic_advantage(self):
+        sys_gs, store_gs, _, _ = make(gs=True)
+        sys_plain, store_plain, _, _ = make(gs=False)
+        result = {}
+        r1 = sys_gs.run([field_analytics_ops(store_gs, result)])
+        r2 = sys_plain.run([field_analytics_ops(store_plain, dict())])
+        assert r1.dram_reads < r2.dram_reads
+        assert r1.cycles < r2.cycles
+
+
+class TestBFS:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_levels_match_networkx(self, seed):
+        system, store, edge_list, _ = make(seed=seed)
+        levels = {}
+        system.run([bfs_ops(store, 0, levels)])
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(store.num_vertices))
+        graph.add_edges_from(edge_list)
+        expected = dict(nx.single_source_shortest_path_length(graph, 0))
+        assert levels == expected
+
+    def test_levels_written_to_memory(self):
+        system, store, edge_list, _ = make()
+        levels = {}
+        system.run([bfs_ops(store, 0, levels)])
+        records = store.read_records()
+        for vertex in range(store.num_vertices):
+            expected = levels.get(vertex, UNREACHED)
+            assert records[vertex][FIELD_LEVEL] == expected
+
+    def test_isolated_source(self):
+        system = System(table1_config())
+        store = GraphStore(system, 8, [], gs=True)
+        initialise_records(store, [0] * 8)
+        levels = {}
+        system.run([bfs_ops(store, 3, levels)])
+        assert levels == {3: 0}
+
+
+class TestVertexUpdates:
+    def test_read_modify_write(self):
+        system, store, _, _ = make()
+        system.run([vertex_update_ops(store, [0, 5, 5, 9], delta=100)])
+        records = store.read_records()
+        assert records[0][FIELD_VALUE] == 0 + 100
+        assert records[5][FIELD_VALUE] == 5 + 200  # updated twice
+        assert records[9][FIELD_VALUE] == 9 + 100
+
+    def test_updates_visible_to_subsequent_scan(self):
+        system, store, _, _ = make()
+        system.run([vertex_update_ops(store, list(range(8)), delta=1)])
+        total = [0]
+        system.run([store.scan_field_ops(FIELD_VALUE,
+                                         lambda v: total.__setitem__(0, total[0] + v))])
+        expected = sum(v + 1 for v in range(8)) + sum(range(8, store.num_vertices))
+        assert total[0] == expected

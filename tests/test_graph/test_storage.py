@@ -1,0 +1,81 @@
+"""Tests for graph storage."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.storage import FIELDS, GraphStore
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+EDGES = [(0, 1), (0, 2), (1, 2), (2, 0), (3, 4)]
+
+
+def make_store(gs=True, vertices=8):
+    system = System(table1_config() if gs else plain_dram_config())
+    return system, GraphStore(system, vertices, EDGES, gs=gs)
+
+
+class TestConstruction:
+    def test_csr_offsets(self):
+        _, store = make_store()
+        assert store.offsets == [0, 2, 3, 4, 5, 5, 5, 5, 5]
+        assert store.num_edges == 5
+
+    def test_neighbours_sorted(self):
+        _, store = make_store()
+        assert store.neighbours(0) == [1, 2]
+        assert store.neighbours(7) == []
+
+    def test_vertex_count_must_be_group_multiple(self):
+        system = System(table1_config())
+        with pytest.raises(WorkloadError):
+            GraphStore(system, 10, EDGES)
+
+    def test_edge_bounds_checked(self):
+        system = System(table1_config())
+        with pytest.raises(WorkloadError):
+            GraphStore(system, 8, [(0, 99)])
+
+    def test_plain_fallback_on_plain_system(self):
+        system = System(plain_dram_config())
+        store = GraphStore(system, 8, EDGES, gs=True)  # downgrades
+        assert not store.gs
+        assert store.pattern == 0
+
+
+class TestRecords:
+    def test_load_read_round_trip(self):
+        _, store = make_store()
+        records = [[v * 10 + f for f in range(FIELDS)] for v in range(8)]
+        store.load_records(records)
+        assert store.read_records() == records
+
+    def test_record_count_checked(self):
+        _, store = make_store()
+        with pytest.raises(WorkloadError):
+            store.load_records([[0] * FIELDS])
+
+    def test_field_addressing(self):
+        _, store = make_store()
+        assert store.field_address(0, 1) - store.field_address(0, 0) == 8
+        assert store.field_address(1, 0) - store.field_address(0, 0) == 64
+
+
+class TestScanOps:
+    def test_gs_scan_uses_gathers(self):
+        system, store = make_store(gs=True)
+        records = [[v * 10 + f for f in range(FIELDS)] for v in range(8)]
+        store.load_records(records)
+        values = []
+        result = system.run([store.scan_field_ops(1, values.append)])
+        assert values == [v * 10 + 1 for v in range(8)]
+        assert result.dram_reads == 1  # one gathered line for 8 vertices
+
+    def test_plain_scan_reads_every_record(self):
+        system, store = make_store(gs=False)
+        records = [[v for _ in range(FIELDS)] for v in range(8)]
+        store.load_records(records)
+        values = []
+        result = system.run([store.scan_field_ops(0, values.append)])
+        assert values == list(range(8))
+        assert result.dram_reads == 8

@@ -1,0 +1,108 @@
+"""Tests for the graphics (framebuffer) application."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphics import CH_B, CH_G, CH_R, CH_Z, CHANNELS, Framebuffer
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+W, H = 16, 8  # 128 pixels
+
+
+def make(gs=True):
+    system = System(table1_config() if gs else plain_dram_config())
+    fb = Framebuffer(system, W, H, gs=gs)
+    rng = random.Random(4)
+    records = [[rng.randrange(256) for _ in range(CHANNELS)]
+               for _ in range(W * H)]
+    fb.load_pixels(records)
+    return system, fb, records
+
+
+class TestStorage:
+    def test_round_trip(self):
+        _, fb, records = make()
+        assert fb.read_pixels() == records
+
+    def test_pixel_index_bounds(self):
+        _, fb, _ = make()
+        assert fb.pixel_index(0, 0) == 0
+        assert fb.pixel_index(15, 7) == W * H - 1
+        with pytest.raises(WorkloadError):
+            fb.pixel_index(16, 0)
+
+    def test_pixel_count_must_be_group_multiple(self):
+        system = System(table1_config())
+        with pytest.raises(WorkloadError):
+            Framebuffer(system, 3, 3)
+
+
+class TestPerPixel:
+    def test_blend(self):
+        system, fb, records = make()
+        pixel = fb.pixel_index(5, 3)
+        system.run([fb.blend_ops(pixel, (200, 100, 50), alpha_num=128)])
+        after = fb.read_pixels()[pixel]
+        for slot, channel in enumerate((CH_R, CH_G, CH_B)):
+            old = records[pixel][channel]
+            src = (200, 100, 50)[slot]
+            assert after[channel] == (old * 128 + src * 128) // 256
+        # Other channels untouched.
+        assert after[CH_Z] == records[pixel][CH_Z]
+
+    def test_blend_touches_one_line(self):
+        system, fb, _ = make()
+        result = system.run([fb.blend_ops(0, (1, 2, 3), 64)])
+        assert result.dram_reads <= 1
+
+
+class TestPerChannel:
+    @pytest.mark.parametrize("gs", [True, False])
+    def test_scan_matches_contents(self, gs):
+        system, fb, records = make(gs=gs)
+        seen = []
+        system.run([fb.scan_channel_ops(CH_G, seen.append)])
+        assert seen == [record[CH_G] for record in records]
+
+    def test_gather_traffic_advantage(self):
+        sys_gs, fb_gs, _ = make(gs=True)
+        sys_plain, fb_plain, _ = make(gs=False)
+        r1 = sys_gs.run([fb_gs.scan_channel_ops(CH_R, lambda v: None)])
+        r2 = sys_plain.run([fb_plain.scan_channel_ops(CH_R, lambda v: None)])
+        assert r2.dram_reads == 8 * r1.dram_reads
+        assert r1.cycles < r2.cycles
+
+    def test_histogram(self):
+        system, fb, records = make()
+        histogram = [0] * 4
+        system.run([fb.channel_histogram_ops(CH_B, 4, histogram, 64)])
+        expected = [0] * 4
+        for record in records:
+            expected[min(record[CH_B] // 64, 3)] += 1
+        assert histogram == expected
+
+    def test_depth_test(self):
+        system, fb, records = make()
+        count = [0]
+        system.run([fb.depth_test_ops(threshold=128, result=count)])
+        assert count[0] == sum(1 for r in records if r[CH_Z] < 128)
+
+    def test_bad_channel_rejected(self):
+        _, fb, _ = make()
+        with pytest.raises(WorkloadError):
+            list(fb.scan_channel_ops(9, lambda v: None))
+
+
+class TestMixedWorkload:
+    def test_blend_then_scan_coherent(self):
+        """Per-pixel writes must be visible to per-channel gathers."""
+        system, fb, records = make()
+        pixel = 10
+        system.run([fb.blend_ops(pixel, (255, 255, 255), alpha_num=256)])
+        seen = []
+        system.run([fb.scan_channel_ops(CH_R, seen.append)])
+        assert seen[pixel] == 255
+        assert seen[pixel + 1] == records[pixel + 1][CH_R]

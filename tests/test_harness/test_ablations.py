@@ -1,0 +1,47 @@
+"""Tests for the ablation drivers and scale presets."""
+
+import pytest
+
+from repro.harness.ablations import run_shuffle_ablation
+from repro.harness.common import DEFAULT, FULL, QUICK, current_scale
+
+
+class TestShuffleAblation:
+    def test_full_shuffle_single_read(self):
+        figure = run_shuffle_ablation()
+        # Strides 2..8 cost exactly one READ with full shuffling.
+        assert figure.series["with shuffle"][:3] == [1.0, 1.0, 1.0]
+
+    def test_no_shuffle_serialises(self):
+        figure = run_shuffle_ablation()
+        strides = figure.xs
+        no_shuffle = dict(zip(strides, figure.series["no shuffle"]))
+        assert no_shuffle[8] == 8.0
+        assert no_shuffle[2] == 2.0
+
+    def test_partial_shuffle_in_between(self):
+        figure = run_shuffle_ablation()
+        strides = figure.xs
+        partial = dict(zip(strides, figure.series["1-stage shuffle"]))
+        full = dict(zip(strides, figure.series["with shuffle"]))
+        none = dict(zip(strides, figure.series["no shuffle"]))
+        assert full[8] <= partial[8] <= none[8]
+
+
+class TestScalePresets:
+    def test_presets_ordered(self):
+        assert QUICK.db_tuples < DEFAULT.db_tuples < FULL.db_tuples
+        assert len(QUICK.gemm_sizes) <= len(FULL.gemm_sizes)
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert current_scale() is QUICK
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert current_scale() is FULL
+        monkeypatch.delenv("REPRO_SCALE")
+        assert current_scale() is DEFAULT
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()

@@ -1,0 +1,72 @@
+"""Smoke tests for the per-figure experiment drivers (tiny scale).
+
+The benchmarks run the full sweeps; here each driver is exercised at a
+very small scale to validate plumbing, functional verification, and the
+expected orderings.
+"""
+
+import pytest
+
+from repro.harness.common import Scale
+from repro.harness.fig7_patterns import (
+    computed_figure7,
+    exact_columns_match,
+    families_match,
+    render_figure7,
+)
+from repro.harness.fig9_transactions import run_figure9
+from repro.harness.fig10_analytics import run_figure10
+from repro.harness.fig13_gemm import run_figure13
+from repro.db.workload import FIGURE9_MIXES
+
+TINY = Scale(
+    name="tiny",
+    db_tuples=1024,
+    db_transactions=60,
+    htap_tuples=1024,
+    htap_l2_size=32 * 1024,
+    gemm_sizes=(16,),
+)
+
+
+class TestFigure7:
+    def test_families_match_paper(self):
+        assert families_match(computed_figure7())
+
+    def test_patterns_0_1_3_exact_column_order(self):
+        exact = exact_columns_match(computed_figure7())
+        assert {0, 1, 3}.issubset(set(exact))
+
+    def test_render(self):
+        out = render_figure7()
+        assert "MATCH" in out
+        assert "0 4 8 12" in out
+
+
+class TestFigure9:
+    def test_tiny_run(self):
+        figure, summary = run_figure9(TINY, mixes=FIGURE9_MIXES[:2])
+        assert set(figure.series) == {"Row Store", "Column Store", "GS-DRAM"}
+        # GS-DRAM beats Column Store on transactions.
+        assert figure.speedup("Column Store", "GS-DRAM") > 1.5
+        # GS-DRAM roughly matches Row Store.
+        assert 0.7 < figure.speedup("Row Store", "GS-DRAM") < 1.3
+
+
+class TestFigure10:
+    def test_tiny_run(self):
+        figure, summary = run_figure10(TINY)
+        # GS-DRAM beats Row Store on analytics.
+        assert figure.speedup("Row Store", "GS-DRAM") > 1.5
+        # GS-DRAM roughly matches Column Store.
+        assert 0.5 < figure.speedup("Column Store", "GS-DRAM") < 2.0
+
+
+class TestFigure13:
+    def test_tiny_run(self):
+        figure, summary = run_figure13(TINY)
+        # Normalised times below 1 (both beat non-tiled at n=16).
+        assert all(v < 1.2 for v in figure.series["Best Tiling"])
+        # GS-DRAM below Best Tiling at every size.
+        for gs, tiled in zip(figure.series["GS-DRAM"], figure.series["Best Tiling"]):
+            assert gs < tiled

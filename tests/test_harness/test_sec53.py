@@ -1,0 +1,20 @@
+"""Smoke tests for the Section 5.3 application drivers (tiny scale)."""
+
+from repro.harness.sec53_apps import run_graph_experiment, run_kvstore_experiment
+
+
+class TestKVStoreDriver:
+    def test_tiny_run(self):
+        figure = run_kvstore_experiment(pairs=512)
+        gs = dict(zip(figure.xs, figure.series["GS-DRAM"]))
+        pair = dict(zip(figure.xs, figure.series["pair layout"]))
+        assert pair["scan DRAM reads"] == 2 * gs["scan DRAM reads"]
+        assert gs["scan cycles"] < pair["scan cycles"]
+
+
+class TestGraphDriver:
+    def test_tiny_run(self):
+        figure = run_graph_experiment(vertices=128, edges=512)
+        gs = dict(zip(figure.xs, figure.series["GS-DRAM"]))
+        record = dict(zip(figure.xs, figure.series["record layout"]))
+        assert gs["analytics cycles"] < record["analytics cycles"]

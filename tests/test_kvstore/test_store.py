@@ -1,0 +1,86 @@
+"""Tests for the pattern-1 key-value store."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kvstore.store import KVStore, LookupResult
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+
+def make_store(capacity=256) -> tuple[System, KVStore]:
+    system = System(table1_config())
+    return system, KVStore(system, capacity)
+
+
+class TestInsertLookup:
+    def test_insert_then_hit(self):
+        system, kv = make_store()
+        system.run([kv.bulk_insert_ops([(10, 100), (20, 200), (30, 300)])])
+        result = LookupResult()
+        system.run([kv.lookup_ops(20, result)])
+        assert result.found and result.value == 200
+
+    def test_miss(self):
+        system, kv = make_store()
+        system.run([kv.bulk_insert_ops([(1, 2)])])
+        result = LookupResult()
+        system.run([kv.lookup_ops(999, result)])
+        assert not result.found
+        assert result.keys_examined == 1
+
+    def test_scan_early_exit_on_match(self):
+        system, kv = make_store()
+        pairs = [(k, k * 2) for k in range(1, 65)]
+        system.run([kv.bulk_insert_ops(pairs)])
+        result = LookupResult()
+        system.run([kv.lookup_ops(5, result)])  # in the first gather group
+        assert result.found
+        assert result.keys_examined <= 8
+
+    def test_oracle_agreement(self):
+        system, kv = make_store()
+        pairs = [(k * 3, k * 7) for k in range(1, 33)]
+        system.run([kv.bulk_insert_ops(pairs)])
+        for key, value in pairs[::5]:
+            result = LookupResult()
+            system.run([kv.lookup_ops(key, result)])
+            assert result.found and result.value == kv.oracle[key]
+
+
+class TestGatherEfficiency:
+    def test_key_scan_uses_gathered_lines(self):
+        system, kv = make_store()
+        pairs = [(k, k) for k in range(64)]
+        system.run([kv.bulk_insert_ops(pairs)])
+        before = system.controller.stats.get("cmd_RD")
+        keys = []
+        system.run([kv.scan_all_keys_ops(keys.append)])
+        gather_reads = system.controller.stats.get("cmd_RD") - before
+        assert keys == [k for k, _ in pairs]
+        # 64 keys via 8 gathered lines (cold caches would need 16 pair lines).
+        assert gather_reads <= 8
+
+    def test_patterned_requests_counted(self):
+        system, kv = make_store()
+        system.run([kv.bulk_insert_ops([(k, k) for k in range(16)])])
+        keys = []
+        system.run([kv.scan_all_keys_ops(keys.append)])
+        assert system.controller.stats.get("requests_patterned") > 0
+
+
+class TestValidation:
+    def test_capacity_limit(self):
+        system, kv = make_store(capacity=8)
+        system.run([kv.bulk_insert_ops([(k, k) for k in range(8)])])
+        with pytest.raises(WorkloadError):
+            list(kv.insert_ops(99, 99))
+
+    def test_capacity_must_be_group_multiple(self):
+        system = System(table1_config())
+        with pytest.raises(WorkloadError):
+            KVStore(system, capacity=10)
+
+    def test_requires_gs_system(self):
+        with pytest.raises(WorkloadError):
+            KVStore(System(plain_dram_config()), capacity=64)

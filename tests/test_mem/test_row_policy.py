@@ -1,0 +1,87 @@
+"""Tests for the open-row vs closed-page controller policy."""
+
+from repro.core.module import GSModule
+from repro.cpu.isa import Load
+from repro.dram.address import Geometry
+from repro.mem.controller import MemoryController
+from repro.mem.request import MemoryRequest, RequestKind
+from repro.sim.config import plain_dram_config
+from repro.sim.system import System
+from repro.utils.events import Engine
+
+GEOMETRY = Geometry(banks=4, rows_per_bank=16, columns_per_row=32)
+
+
+def make(open_row: bool):
+    engine = Engine()
+    module = GSModule(geometry=GEOMETRY)
+    controller = MemoryController(engine, module, open_row_policy=open_row)
+    return engine, module, controller
+
+
+def read(controller, engine, address):
+    done = []
+    controller.submit(
+        MemoryRequest(address, RequestKind.READ, callback=done.append)
+    )
+    engine.run()
+    return done[0]
+
+
+class TestClosedPage:
+    def test_row_closed_after_idle_access(self):
+        engine, module, controller = make(open_row=False)
+        read(controller, engine, 0)
+        # Give the deferred precharge a chance to fire.
+        engine.schedule(module.timing.t_ras * 2, lambda: None)
+        engine.run()
+        assert module.banks[0].open_row is None
+
+    def test_open_row_stays_open(self):
+        engine, module, controller = make(open_row=True)
+        read(controller, engine, 0)
+        assert module.banks[0].open_row is not None
+
+    def test_second_access_same_row_misses_under_closed_page(self):
+        engine, module, controller = make(open_row=False)
+        read(controller, engine, 0)
+        engine.schedule(module.timing.t_ras * 2, lambda: None)
+        engine.run()
+        second = read(controller, engine, 64)
+        assert second.row_hit is False
+
+    def test_row_kept_open_for_queued_hit(self):
+        engine, module, controller = make(open_row=False)
+        done = []
+        # Two back-to-back same-row requests: the second is queued when
+        # the first's column issues, so the row must not be closed.
+        for address in (0, 64):
+            controller.submit(
+                MemoryRequest(address, RequestKind.READ, callback=done.append)
+            )
+        engine.run()
+        assert done[1].row_hit is True
+
+    def test_closed_page_hurts_streaming(self):
+        """A streaming scan prefers the open-row policy (Table 1)."""
+
+        def run(open_row: bool) -> int:
+            system = System(plain_dram_config(open_row_policy=open_row))
+            base = system.malloc(128 * 64)
+            system.mem_write(base, bytes(128 * 64))
+            ops = [Load(base + i * 64) for i in range(128)]
+            return system.run([ops]).cycles
+
+        assert run(True) < run(False)
+
+    def test_closed_page_functionally_correct(self):
+        system = System(plain_dram_config(open_row_policy=False))
+        base = system.malloc(64 * 64)
+        payload = bytes(range(256)) * 16
+        system.mem_write(base, payload)
+        seen = []
+        ops = [Load(base + i * 64, on_value=seen.append) for i in range(64)]
+        system.run([ops])
+        assert b"".join(seen) == bytes(
+            b for i in range(64) for b in payload[i * 64 : i * 64 + 8]
+        )

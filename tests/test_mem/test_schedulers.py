@@ -1,0 +1,72 @@
+"""Tests for memory scheduling policies."""
+
+from repro.dram.bank import Bank
+from repro.dram.timing import ddr3_1600
+from repro.mem.request import MemoryRequest, RequestKind
+from repro.mem.schedulers import FCFS, FRFCFS
+
+TIMING = ddr3_1600().scaled(5)
+
+
+def request(address: int, arrival: int, kind=RequestKind.READ) -> MemoryRequest:
+    req = MemoryRequest(address=address, kind=kind)
+    req.arrival_time = arrival
+    # Minimal decode: treat the row as address // 8192 for these tests.
+    from repro.dram.address import DecodedAddress
+
+    req.location = DecodedAddress(bank=0, row=address // 8192,
+                                  column=(address // 64) % 128, offset=0)
+    return req
+
+
+class TestFCFS:
+    def test_oldest_first(self):
+        bank = Bank(0, TIMING)
+        old = request(0, arrival=5)
+        new = request(8192, arrival=10)
+        assert FCFS().choose([new, old], bank) is old
+
+
+class TestFRFCFS:
+    def test_row_hit_beats_older_miss(self):
+        bank = Bank(0, TIMING)
+        bank.issue_activate(1, now=0)  # row 1 open
+        miss = request(0, arrival=5)          # row 0 (miss), older
+        hit = request(8192, arrival=10)       # row 1 (hit), newer
+        assert FRFCFS().choose([miss, hit], bank) is hit
+
+    def test_falls_back_to_oldest_among_misses(self):
+        bank = Bank(0, TIMING)  # nothing open
+        first = request(0, arrival=5)
+        second = request(8192, arrival=10)
+        assert FRFCFS().choose([second, first], bank) is first
+
+    def test_reads_preferred_over_writes_at_same_level(self):
+        bank = Bank(0, TIMING)
+        bank.issue_activate(0, now=0)
+        write = request(0, arrival=5, kind=RequestKind.WRITE)
+        read = request(64, arrival=10, kind=RequestKind.READ)
+        assert FRFCFS().choose([write, read], bank) is read
+
+    def test_starvation_limit_caps_hit_streak(self):
+        scheduler = FRFCFS(starvation_limit=2)
+        bank = Bank(0, TIMING)
+        bank.issue_activate(1, now=0)
+        miss = request(0, arrival=0)
+        # Two consecutive hit choices are allowed...
+        for _ in range(2):
+            hit = request(8192, arrival=100)
+            chosen = scheduler.choose([miss, hit], bank)
+            assert chosen is hit
+        # ...then the waiting miss must win.
+        hit = request(8192, arrival=100)
+        assert scheduler.choose([miss, hit], bank) is miss
+
+    def test_unlimited_streak_by_default(self):
+        scheduler = FRFCFS()
+        bank = Bank(0, TIMING)
+        bank.issue_activate(1, now=0)
+        miss = request(0, arrival=0)
+        for _ in range(50):
+            hit = request(8192, arrival=100)
+            assert scheduler.choose([miss, hit], bank) is hit

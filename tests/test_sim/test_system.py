@@ -1,0 +1,118 @@
+"""End-to-end tests for the assembled System."""
+
+import struct
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store, pattload
+from repro.errors import SimulationError
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+
+class TestFunctionalMemory:
+    def test_mem_write_read_round_trip(self, gs_system):
+        base = gs_system.malloc(256)
+        payload = bytes(range(200))
+        gs_system.mem_write(base, payload)
+        assert gs_system.mem_read(base, 200) == payload
+
+    def test_shuffled_page_round_trip(self, gs_system):
+        base = gs_system.pattmalloc(512, shuffle=True, pattern=7)
+        payload = bytes(range(256))
+        gs_system.mem_write(base, payload)
+        assert gs_system.mem_read(base, 256) == payload
+
+    def test_mem_read_sees_dirty_cache_lines(self, gs_system):
+        base = gs_system.malloc(64)
+        result = gs_system.run([[Store(base, b"\x99" * 8)]])
+        assert gs_system.mem_read(base, 8) == b"\x99" * 8
+
+
+class TestRun:
+    def test_single_program(self, gs_system):
+        base = gs_system.malloc(64)
+        gs_system.mem_write(base, bytes(range(64)))
+        seen = []
+        result = gs_system.run([[Load(base, on_value=seen.append), Compute(10)]])
+        assert seen == [bytes(range(8))]
+        assert result.cycles > 0
+        assert result.instructions == 11
+
+    def test_too_many_programs_rejected(self, gs_system):
+        with pytest.raises(SimulationError):
+            gs_system.run([[Compute(1)], [Compute(1)]])
+
+    def test_result_counters(self, gs_system):
+        base = gs_system.malloc(128)
+        result = gs_system.run([[Load(base), Load(base + 64), Load(base)]])
+        assert result.loads == 3
+        assert result.l1_hits == 1
+        assert result.l1_misses == 2
+        assert result.dram_reads == 2
+        assert result.memory_accesses == 2
+        assert result.bandwidth_bytes == 128
+        assert result.energy.total_mj > 0
+
+    def test_render(self, gs_system):
+        result = gs_system.run([[Compute(5)]])
+        assert "cycles" in result.render()
+
+
+class TestPatternExecution:
+    def test_figure8_loop(self, gs_system):
+        """The paper's Figure 8: gather field 0 of 8-field objects."""
+        objects = 64
+        base = gs_system.pattmalloc(objects * 64, shuffle=True, pattern=7)
+        data = b"".join(
+            struct.pack("<8Q", *(obj * 8 + f for f in range(8)))
+            for obj in range(objects)
+        )
+        gs_system.mem_write(base, data)
+        total = [0]
+
+        def program():
+            for i in range(0, objects, 8):
+                for j in range(8):
+                    yield pattload(
+                        base + i * 64 + 8 * j, pattern=7, pc=0x77,
+                        on_value=lambda b: total.__setitem__(
+                            0, total[0] + struct.unpack("<Q", b)[0]
+                        ),
+                    )
+
+        result = gs_system.run([program()])
+        assert total[0] == sum(obj * 8 for obj in range(objects))
+        # One gathered line per 8 objects.
+        assert result.dram_reads == objects // 8
+
+    def test_plain_system_runs_same_api(self, plain_system):
+        base = plain_system.malloc(64)
+        result = plain_system.run([[Store(base, b"\x01" * 8), Load(base)]])
+        assert result.stores == 1
+
+
+class TestMultiCore:
+    def test_stop_on_core(self):
+        system = System(table1_config(cores=2))
+        base = system.malloc(64)
+
+        def endless():
+            while True:
+                yield Compute(10)
+
+        result = system.run(
+            [[Compute(1000)], endless()], stop_on_core=0
+        )
+        assert system.cores[0].finish_time == 1000
+        assert system.cores[1].finish_time is not None
+
+    def test_two_cores_share_l2(self):
+        system = System(table1_config(cores=2))
+        base = system.malloc(64)
+        system.mem_write(base, bytes(range(64)))
+        system.run([[Load(base)], []])
+        # Second core's access after the first core's fill hits the L2.
+        result = system.hierarchy.access(1, base, callback=lambda d: None)
+        assert result is not None  # synchronous (L2) hit
+        assert system.hierarchy.l2.stats.get("hits") == 1

@@ -1,0 +1,83 @@
+"""Tests for trace analysis and gather-candidate detection."""
+
+from repro.cpu.isa import Compute, Load, Store, pattload
+from repro.trace.analysis import PCProfile, analyze
+from repro.trace.format import TraceRecord, record_ops
+
+
+def record(ops, core=0):
+    sink = []
+    list(record_ops(ops, core, sink))
+    return sink
+
+
+class TestPCProfile:
+    def test_dominant_stride(self):
+        profile = PCProfile(pc=1)
+        for address in (0, 64, 128, 192):
+            profile.observe(TraceRecord("L", 0, address=address, pc=1))
+        assert profile.dominant_stride == 64
+
+    def test_noisy_stream_has_no_dominant_stride(self):
+        profile = PCProfile(pc=1)
+        for address in (0, 64, 1000, 64, 9000):
+            profile.observe(TraceRecord("L", 0, address=address, pc=1))
+        assert profile.dominant_stride is None
+
+    def test_single_access_no_stride(self):
+        profile = PCProfile(pc=1)
+        profile.observe(TraceRecord("L", 0, address=0, pc=1))
+        assert profile.dominant_stride is None
+
+
+class TestAnalyze:
+    def test_counts(self):
+        ops = [Compute(10), Load(0, pc=1), Store(64, b"\x00" * 8, pc=2)]
+        report = analyze(record(ops))
+        assert report.loads == 1
+        assert report.stores == 1
+        assert report.compute_cycles == 10
+        assert report.footprint_lines == 2
+
+    def test_record_stride_candidate(self):
+        ops = [Load(t * 64, pc=0x10) for t in range(32)]
+        report = analyze(record(ops))
+        assert len(report.candidates) == 1
+        candidate = report.candidates[0]
+        assert candidate.pc == 0x10
+        assert candidate.stride == 64
+        assert candidate.suggested_pattern == 7
+        assert candidate.line_reduction == 8
+
+    def test_double_line_stride_gets_partial_reduction(self):
+        ops = [Load(t * 128, pc=0x11) for t in range(32)]
+        report = analyze(record(ops))
+        assert report.candidates[0].line_reduction == 4
+
+    def test_contiguous_stream_not_a_candidate(self):
+        ops = [Load(i * 8, pc=0x12) for i in range(64)]
+        assert analyze(record(ops)).candidates == []
+
+    def test_patterned_loads_not_candidates(self):
+        ops = [pattload(t * 64, pattern=7, pc=0x13) for t in range(32)]
+        report = analyze(record(ops))
+        assert report.candidates == []
+        assert report.pattern_usage[7] == 32
+
+    def test_non_power_of_two_multiple_skipped(self):
+        ops = [Load(t * 192, pc=0x14) for t in range(32)]  # 3 lines apart
+        assert analyze(record(ops)).candidates == []
+
+    def test_huge_stride_skipped(self):
+        ops = [Load(t * 64 * 16, pc=0x15) for t in range(32)]  # 16 lines
+        assert analyze(record(ops)).candidates == []
+
+    def test_render(self):
+        ops = [Load(t * 64, pc=0x10) for t in range(8)]
+        text = analyze(record(ops)).render()
+        assert "gather candidates" in text
+        assert "pattern 7" in text
+
+    def test_render_no_candidates(self):
+        text = analyze(record([Compute(1)])).render()
+        assert "no gather candidates" in text

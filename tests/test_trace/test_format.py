@@ -1,0 +1,129 @@
+"""Tests for trace recording, serialization, and replay."""
+
+import io
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.errors import WorkloadError
+from repro.trace.format import (
+    TraceRecord,
+    cores_in,
+    load_trace,
+    record_ops,
+    replay_ops,
+    save_trace,
+    trace_from_text,
+    trace_to_text,
+)
+
+
+def sample_ops():
+    return [
+        Compute(5),
+        Load(0x1000, size=8, pattern=0, pc=0x40),
+        Store(0x1040, b"\x01" * 8, pattern=7, pc=0x44),
+        Load(0x2000, size=16, pattern=3, pc=0x48),
+    ]
+
+
+class TestRecording:
+    def test_tee_preserves_ops(self):
+        records = []
+        out = list(record_ops(sample_ops(), core=0, sink=records))
+        assert len(out) == 4
+        assert isinstance(out[0], Compute)
+        assert len(records) == 4
+
+    def test_record_fields(self):
+        records = []
+        list(record_ops(sample_ops(), core=2, sink=records))
+        load = records[1]
+        assert (load.kind, load.core, load.address) == ("L", 2, 0x1000)
+        store = records[2]
+        assert store.payload == b"\x01" * 8
+        assert store.pattern == 7
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            list(record_ops([object()], core=0, sink=[]))
+
+
+class TestSerialization:
+    def test_round_trip_text(self):
+        records = []
+        list(record_ops(sample_ops(), core=1, sink=records))
+        parsed = trace_from_text(trace_to_text(records))
+        assert parsed == records
+
+    def test_round_trip_stream(self):
+        records = []
+        list(record_ops(sample_ops(), core=0, sink=records))
+        buffer = io.StringIO()
+        written = save_trace(records, buffer)
+        assert written == 4
+        buffer.seek(0)
+        assert load_trace(buffer) == records
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord.from_line("X\t0\t0")
+
+    def test_blank_lines_ignored(self):
+        records = load_trace(io.StringIO("\nC\t0\t5\n\n"))
+        assert len(records) == 1
+
+
+class TestReplay:
+    def test_replay_reconstructs_ops(self):
+        records = []
+        list(record_ops(sample_ops(), core=0, sink=records))
+        replayed = list(replay_ops(records))
+        assert isinstance(replayed[0], Compute) and replayed[0].count == 5
+        assert isinstance(replayed[1], Load) and replayed[1].address == 0x1000
+        assert isinstance(replayed[2], Store) and replayed[2].payload == b"\x01" * 8
+        assert replayed[3].size == 16 and replayed[3].pattern == 3
+
+    def test_replay_filters_by_core(self):
+        records = []
+        list(record_ops([Compute(1)], core=0, sink=records))
+        list(record_ops([Compute(2)], core=1, sink=records))
+        assert [op.count for op in replay_ops(records, core=1)] == [2]
+
+    def test_cores_in(self):
+        records = []
+        list(record_ops([Compute(1)], core=3, sink=records))
+        list(record_ops([Compute(1)], core=0, sink=records))
+        assert cores_in(records) == [0, 3]
+
+
+class TestTimingEquivalence:
+    def test_replay_matches_recorded_run(self):
+        """Replaying a trace on an identical machine gives identical cycles."""
+        import struct
+
+        from repro.sim.config import table1_config
+        from repro.sim.system import System
+
+        def build():
+            system = System(table1_config())
+            base = system.pattmalloc(64 * 64, shuffle=True, pattern=7)
+            system.mem_write(base, bytes(64 * 64))
+            return system, base
+
+        system, base = build()
+        records = []
+
+        def program():
+            for t in range(64):
+                yield Load(base + t * 64, pc=0x50)
+                yield Store(base + t * 64, struct.pack("<Q", t), pc=0x54)
+                yield Compute(3)
+
+        original = system.run([record_ops(program(), 0, records)])
+
+        system2, base2 = build()
+        assert base2 == base  # identical allocation
+        replay = system2.run([replay_ops(records)])
+        assert replay.cycles == original.cycles
+        assert system2.mem_read(base, 64 * 64) == system.mem_read(base, 64 * 64)

@@ -1,0 +1,123 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.utils.events import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule_at(30, log.append, "c")
+        engine.schedule_at(10, log.append, "a")
+        engine.schedule_at(20, log.append, "b")
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        engine = Engine()
+        log = []
+        for tag in range(5):
+            engine.schedule_at(7, log.append, tag)
+        engine.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_relative_schedule(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(
+            100, lambda: engine.schedule(5, lambda: seen.append(engine.now))
+        )
+        engine.run()
+        assert seen == [105]
+
+    def test_now_advances(self):
+        engine = Engine()
+        times = []
+        engine.schedule_at(4, lambda: times.append(engine.now))
+        engine.schedule_at(9, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [4, 9]
+        assert engine.now == 9
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.schedule_at(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+
+class TestRunControl:
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_pending_count(self):
+        engine = Engine()
+        engine.schedule_at(1, lambda: None)
+        engine.schedule_at(2, lambda: None)
+        assert engine.pending() == 2
+        engine.run()
+        assert engine.pending() == 0
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(1, forever)
+
+        engine.schedule(0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=100)
+
+    def test_run_until_stops_before_time(self):
+        engine = Engine()
+        log = []
+        engine.schedule_at(5, log.append, "early")
+        engine.schedule_at(50, log.append, "late")
+        engine.run_until(20)
+        assert log == ["early"]
+        assert engine.now == 20
+        engine.run()
+        assert log == ["early", "late"]
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(7):
+            engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.events_processed == 7
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+        errors = []
+
+        def reenter():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        engine.schedule(0, reenter)
+        engine.run()
+        assert len(errors) == 1
+
+
+class TestDeterminism:
+    def test_identical_schedules_identical_orders(self):
+        def build():
+            engine = Engine()
+            log = []
+            for i in range(20):
+                engine.schedule_at((i * 7) % 5, log.append, i)
+            engine.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,59 @@
+"""Tests for figure-result containers."""
+
+import pytest
+
+from repro.utils.records import ComparisonSummary, FigureResult, assert_ordering
+
+
+class TestFigureResult:
+    def _figure(self):
+        fig = FigureResult("Fig X", "test", "n")
+        fig.add_point("A", 1, 100.0)
+        fig.add_point("B", 1, 200.0)
+        fig.add_point("A", 2, 300.0)
+        fig.add_point("B", 2, 600.0)
+        return fig
+
+    def test_xs_collected_once(self):
+        assert self._figure().xs == [1, 2]
+
+    def test_mean(self):
+        assert self._figure().mean("A") == pytest.approx(200.0)
+
+    def test_speedup_direction(self):
+        # A is faster (lower time): speedup of A over baseline B is 2x.
+        assert self._figure().speedup("B", "A") == pytest.approx(2.0)
+
+    def test_per_point_speedups(self):
+        assert self._figure().per_point_speedups("B", "A") == [2.0, 2.0]
+
+    def test_render_contains_series(self):
+        out = self._figure().render()
+        assert "Fig X" in out and "A" in out and "B" in out
+
+    def test_render_notes(self):
+        fig = self._figure()
+        fig.notes.append("hello note")
+        assert "hello note" in fig.render()
+
+    def test_speedup_zero_contender(self):
+        fig = FigureResult("f", "d", "x")
+        fig.add_point("A", 1, 0.0)
+        fig.add_point("B", 1, 5.0)
+        assert fig.speedup("B", "A") == 0.0
+
+
+class TestComparisonSummary:
+    def test_render(self):
+        summary = ComparisonSummary("Fig")
+        summary.record("a vs b", 2.5)
+        assert "2.50x" in summary.render()
+
+
+class TestAssertOrdering:
+    def test_passes_in_order(self):
+        assert_ordering({"fast": 1.0, "slow": 2.0}, ("fast", "slow"))
+
+    def test_fails_out_of_order(self):
+        with pytest.raises(AssertionError):
+            assert_ordering({"fast": 3.0, "slow": 2.0}, ("fast", "slow"))

@@ -1,0 +1,79 @@
+"""Tests for counters, histograms, and summary statistics."""
+
+import pytest
+
+from repro.utils.statistics import Histogram, StatGroup, geometric_mean
+
+
+class TestStatGroup:
+    def test_add_and_get(self):
+        stats = StatGroup("test")
+        stats.add("hits")
+        stats.add("hits", 4)
+        assert stats.get("hits") == 5
+
+    def test_unset_counter_is_zero(self):
+        assert StatGroup("t").get("nothing") == 0
+
+    def test_ratio(self):
+        stats = StatGroup("t")
+        stats.add("hits", 3)
+        stats.add("total", 4)
+        assert stats.ratio("hits", "total") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        assert StatGroup("t").ratio("a", "b") == 0.0
+
+    def test_as_dict_sorted(self):
+        stats = StatGroup("t")
+        stats.add("zulu")
+        stats.add("alpha")
+        assert list(stats.as_dict()) == ["alpha", "zulu"]
+
+    def test_merge(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.add("x", 2)
+        b.add("x", 3)
+        b.add("y")
+        a.merge(b)
+        assert a.get("x") == 5
+        assert a.get("y") == 1
+
+    def test_reset(self):
+        stats = StatGroup("t")
+        stats.add("x", 10)
+        stats.reset()
+        assert stats.get("x") == 0
+
+
+class TestHistogram:
+    def test_mean_and_max(self):
+        hist = Histogram()
+        for value in (1, 2, 3):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.maximum == 3
+
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+
+    def test_bucketing(self):
+        hist = Histogram(bucket_width=10)
+        for value in (0, 5, 10, 15, 25):
+            hist.observe(value)
+        assert hist.buckets() == {0: 2, 10: 2, 20: 1}
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

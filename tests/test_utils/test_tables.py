@@ -1,0 +1,42 @@
+"""Tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.utils.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        # All data rows have the separator at the same position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[3.14159]])
+        assert "3.142" in out
+
+    def test_large_float_grouped(self):
+        out = render_table(["x"], [[1234567.0]])
+        assert "1,234,567" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        out = render_series(
+            "Fig", "n", [1, 2], {"A": [10.0, 20.0], "B": [30.0, 40.0]}
+        )
+        assert "Fig" in out
+        assert "A" in out and "B" in out
+        assert "30" in out and "40" in out

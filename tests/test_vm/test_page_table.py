@@ -1,0 +1,58 @@
+"""Tests for the page table's GS metadata (Section 4.3)."""
+
+import pytest
+
+from repro.errors import AllocationError, PatternError
+from repro.vm.page_table import PageInfo, PageTable
+
+
+class TestMapping:
+    def test_lookup_mapped_range(self):
+        table = PageTable(page_bytes=4096)
+        info = PageInfo(shuffled=True, alt_pattern=7)
+        table.map_range(8192, 10000, info)
+        assert table.lookup(8192) == info
+        assert table.lookup(8192 + 9999) == info
+
+    def test_unmapped_defaults(self):
+        table = PageTable()
+        assert table.lookup(0) == PageInfo(shuffled=False, alt_pattern=0)
+
+    def test_covers_partial_pages(self):
+        table = PageTable(page_bytes=4096)
+        table.map_range(100, 10, PageInfo(True, 3))
+        assert table.lookup(0) == PageInfo(True, 3)  # same page as 100
+
+    def test_conflicting_remap_rejected(self):
+        # Section 4.1: all mappings of a physical page must share the
+        # same alternate pattern.
+        table = PageTable()
+        table.map_range(0, 4096, PageInfo(True, 7))
+        with pytest.raises(PatternError):
+            table.map_range(0, 4096, PageInfo(True, 3))
+
+    def test_identical_remap_allowed(self):
+        table = PageTable()
+        table.map_range(0, 4096, PageInfo(True, 7))
+        table.map_range(0, 4096, PageInfo(True, 7))
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(AllocationError):
+            PageTable().map_range(0, 0, PageInfo())
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(PatternError):
+            PageTable(page_bytes=1000)
+
+
+class TestTranslate:
+    def test_returns_core_tuple(self):
+        table = PageTable()
+        table.map_range(0, 4096, PageInfo(True, 7))
+        assert table.translate(64) == (64, True, 7)
+
+    def test_counts_lookups(self):
+        table = PageTable()
+        table.translate(0)
+        table.lookup(0)
+        assert table.stats.get("lookups") == 2

@@ -1,0 +1,74 @@
+"""Tests for the pattmalloc allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, PatternError
+from repro.vm.pattmalloc import PattAllocator
+from repro.vm.page_table import PageTable
+
+CAPACITY = 1 << 20  # 1 MiB
+
+
+def make_allocator() -> PattAllocator:
+    return PattAllocator(CAPACITY, line_bytes=64, row_bytes=8192,
+                         page_table=PageTable(4096))
+
+
+class TestAlignment:
+    def test_plain_allocations_line_aligned(self):
+        alloc = make_allocator()
+        alloc.malloc(10)
+        second = alloc.malloc(10)
+        assert second % 64 == 0
+
+    def test_shuffled_allocations_row_aligned(self):
+        alloc = make_allocator()
+        alloc.malloc(100)
+        base = alloc.pattmalloc(1000, shuffle=True, pattern=7)
+        assert base % 8192 == 0
+
+    def test_shuffled_regions_page_isolated(self):
+        alloc = make_allocator()
+        a = alloc.pattmalloc(100, shuffle=True, pattern=7)
+        b = alloc.malloc(64)
+        # The plain allocation cannot share the patterned page.
+        assert b // 4096 != a // 4096
+
+
+class TestMetadata:
+    def test_page_attributes_recorded(self):
+        alloc = make_allocator()
+        base = alloc.pattmalloc(500, shuffle=True, pattern=7)
+        assert alloc.page_table.translate(base) == (base, True, 7)
+
+    def test_plain_allocation_defaults(self):
+        alloc = make_allocator()
+        base = alloc.malloc(64)
+        assert alloc.page_table.translate(base) == (base, False, 0)
+
+    def test_allocations_recorded(self):
+        alloc = make_allocator()
+        alloc.malloc(10)
+        alloc.pattmalloc(20, shuffle=True, pattern=1)
+        assert len(alloc.allocations) == 2
+
+
+class TestValidation:
+    def test_pattern_without_shuffle_rejected(self):
+        with pytest.raises(PatternError):
+            make_allocator().pattmalloc(64, shuffle=False, pattern=7)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            make_allocator().malloc(0)
+
+    def test_out_of_memory(self):
+        alloc = make_allocator()
+        with pytest.raises(AllocationError):
+            alloc.malloc(CAPACITY + 1)
+
+    def test_accounting(self):
+        alloc = make_allocator()
+        alloc.malloc(64)
+        assert alloc.used_bytes >= 64
+        assert alloc.remaining_bytes() <= CAPACITY - 64

@@ -1,0 +1,51 @@
+"""Tests for the TLB model."""
+
+from repro.vm.page_table import PageInfo, PageTable
+from repro.vm.tlb import TLB
+
+
+def make_tlb(entries=4) -> TLB:
+    table = PageTable(4096)
+    table.map_range(0, 4096, PageInfo(True, 7))
+    return TLB(table, entries=entries)
+
+
+class TestTranslation:
+    def test_returns_page_info(self):
+        tlb = make_tlb()
+        assert tlb.translate(100) == (100, True, 7)
+
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        tlb.translate(0)
+        tlb.translate(64)
+        assert tlb.stats.get("misses") == 1
+        assert tlb.stats.get("hits") == 1
+
+    def test_capacity_eviction(self):
+        tlb = make_tlb(entries=2)
+        for page in range(4):
+            tlb.translate(page * 4096)
+        assert tlb.stats.get("evictions") == 2
+        # Oldest page was evicted: translating it again misses.
+        misses = tlb.stats.get("misses")
+        tlb.translate(0)
+        assert tlb.stats.get("misses") == misses + 1
+
+    def test_lru_on_hit(self):
+        tlb = make_tlb(entries=2)
+        tlb.translate(0)
+        tlb.translate(4096)
+        tlb.translate(0)  # refresh page 0
+        tlb.translate(8192)  # evicts page 1, not 0
+        misses = tlb.stats.get("misses")
+        tlb.translate(0)
+        assert tlb.stats.get("misses") == misses  # still cached
+
+    def test_flush(self):
+        tlb = make_tlb()
+        tlb.translate(0)
+        tlb.flush()
+        tlb.translate(0)
+        assert tlb.stats.get("misses") == 2
+        assert tlb.stats.get("flushes") == 1

@@ -7,6 +7,9 @@ Commands:
 - ``quickstart`` — the substrate walk-through (same as
   examples/quickstart.py).
 - ``report`` — regenerate EXPERIMENTS.md from benchmarks/results/.
+- ``check`` — run the correctness battery (invariant checkers + the
+  differential oracle sweep); exits non-zero on any violation. Also
+  installed as the ``repro-check`` console script.
 """
 
 from __future__ import annotations
@@ -47,6 +50,13 @@ def run_figures(scale_name: str) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["check"]:
+        # The check sub-CLI owns its own flags; forward them verbatim.
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     figures = sub.add_parser("figures", help="reproduce every paper figure")
@@ -54,6 +64,7 @@ def main(argv: list[str] | None = None) -> int:
                          choices=["quick", "default", "full"])
     sub.add_parser("quickstart", help="substrate walk-through")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    sub.add_parser("check", help="run invariant checkers + differential oracle")
     args = parser.parse_args(argv)
 
     if args.command == "figures":

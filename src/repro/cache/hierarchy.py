@@ -139,10 +139,20 @@ class CacheHierarchy:
         offset = address - line_address
         if offset + size > self.line_bytes:
             raise CoherenceError(
-                f"access at {address:#x} size {size} crosses a line boundary"
+                f"access of {size} bytes crosses a line boundary",
+                core=core_id,
+                address=address,
+                pattern=pattern,
+                cycle=start_time,
             )
         if is_write and payload is not None and len(payload) != size:
-            raise CoherenceError(f"payload size {len(payload)} != access size {size}")
+            raise CoherenceError(
+                f"payload size {len(payload)} != access size {size}",
+                core=core_id,
+                address=address,
+                pattern=pattern,
+                cycle=start_time,
+            )
 
         l1 = self.l1s[core_id]
         line = l1.lookup(line_address, pattern)

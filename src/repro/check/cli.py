@@ -1,0 +1,77 @@
+"""``repro-check``: run the invariant battery + differential fuzzing.
+
+Entry points:
+
+- ``python -m repro check [options]``
+- the ``repro-check`` console script
+
+Runs every invariant checker and a seeded differential sweep, prints
+one report per checker, and exits non-zero on any violation — suitable
+as a CI gate and as a pre-flight before refactoring hot paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.check.differential import run_differential
+from repro.check.invariants import run_all_invariants
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="GS-DRAM correctness battery: invariants + differential fuzzing",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=16,
+        help="randomized traces per machine configuration (default: 16)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2015,
+        help="base seed for trace generation (default: 2015)",
+    )
+    parser.add_argument(
+        "--max-ops", type=int, default=48,
+        help="maximum operations per trace (default: 48)",
+    )
+    parser.add_argument(
+        "--skip-differential", action="store_true",
+        help="run only the invariant checkers",
+    )
+    parser.add_argument(
+        "--skip-invariants", action="store_true",
+        help="run only the differential sweep",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    failures = 0
+
+    if not args.skip_invariants:
+        for report in run_all_invariants():
+            print(report.render())
+            if not report.ok:
+                failures += len(report.violations)
+
+    if not args.skip_differential:
+        report = run_differential(
+            traces_per_config=args.traces,
+            seed=args.seed,
+            max_ops=args.max_ops,
+        )
+        print(report.render())
+        if not report.ok:
+            failures += len(report.mismatches)
+
+    if failures:
+        print(f"repro-check: FAILED ({failures} violations)")
+        return 1
+    print("repro-check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

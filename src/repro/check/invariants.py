@@ -1,0 +1,344 @@
+"""Reusable machine-checkable invariants of the GS-DRAM substrate.
+
+Each checker sweeps one correctness property and returns an
+:class:`InvariantReport`; :func:`run_all_invariants` aggregates the
+standard battery. They are called from the test suite and from the
+``repro-check`` CLI (``python -m repro check``).
+
+The four properties mirror the paper's correctness arguments:
+
+- **shuffle bijectivity** (Section 3.2): for every column ID, the
+  shuffle is a permutation of the line's values and its own inverse,
+  and the stage-by-stage butterfly equals the XOR closed form;
+- **CTL gather-set correctness** (Section 3.3): for every
+  ``(pattern, column)``, the module's lane map gathers exactly the
+  index family of the analytical model, with no duplicates, assembled
+  in ascending row-buffer order, and translation is an involution;
+- **timing-accounting conservation**: after a run, command counts,
+  request counts, and cache accesses obey the conservation identities
+  of the controller's command protocol (every request is served by
+  exactly one column command, every row miss by exactly one ACTIVATE,
+  precharges never outnumber activates by more than the bank count);
+- **energy sanity**: every component of the energy breakdown is
+  non-negative and the totals are consistent sums.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.pattern import gather_spec
+from repro.core.shuffle import (
+    LSBShuffle,
+    MaskedShuffle,
+    NoShuffle,
+    ShuffleFunction,
+    XorFoldShuffle,
+    shuffle_stagewise,
+)
+from repro.cpu.isa import Compute, Load, Store
+from repro.dram.address import Geometry
+from repro.errors import ReproError
+from repro.sim.config import SystemConfig, table1_config
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.utils.bitops import ilog2, mask
+
+
+@dataclass
+class Violation:
+    """One invariant violation, with locating context."""
+
+    detail: str
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        if not self.context:
+            return self.detail
+        where = ", ".join(f"{k}={v}" for k, v in self.context.items())
+        return f"{self.detail} [{where}]"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one invariant checker."""
+
+    name: str
+    checks: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def fail(self, detail: str, **context: Any) -> None:
+        self.violations.append(Violation(detail, context))
+
+    def render(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        lines = [f"{self.name}: {self.checks} checks, {status}"]
+        lines.extend(f"  FAIL: {v.render()}" for v in self.violations[:20])
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# 1. Shuffle bijectivity
+# ----------------------------------------------------------------------
+def check_shuffle_bijectivity(
+    functions: list[ShuffleFunction] | None = None,
+    columns: int = 64,
+    lanes: int | None = None,
+) -> InvariantReport:
+    """Every shuffle function must permute lanes and invert itself."""
+    report = InvariantReport("shuffle-bijectivity")
+    if functions is None:
+        functions = [
+            NoShuffle(),
+            *(LSBShuffle(stages) for stages in (1, 2, 3, 4)),
+            MaskedShuffle(stages=3, stage_mask=0b101),
+            MaskedShuffle(stages=2, stage_mask=0b10),
+            XorFoldShuffle(2),
+            XorFoldShuffle(3),
+        ]
+    for fn in functions:
+        lane_count = lanes or max(2, 1 << fn.stages)
+        identity = list(range(lane_count))
+        for column in range(columns):
+            shuffled = fn.apply(identity, column)
+            report.checks += 1
+            if sorted(shuffled) != identity:
+                report.fail(
+                    "shuffle is not a permutation",
+                    shuffle=repr(fn), column=column,
+                )
+            report.checks += 1
+            if fn.invert(shuffled, column) != identity:
+                report.fail(
+                    "shuffle is not an involution",
+                    shuffle=repr(fn), column=column,
+                )
+            # The hardware butterfly (stage by stage) must agree with
+            # the closed form used on the hot paths.
+            report.checks += 1
+            stagewise = shuffle_stagewise(
+                identity, fn.control_bits(column), fn.stages
+            )
+            if stagewise != shuffled:
+                report.fail(
+                    "stagewise butterfly disagrees with closed form",
+                    shuffle=repr(fn), column=column,
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# 2. CTL gather-set correctness
+# ----------------------------------------------------------------------
+def check_ctl_translation(
+    chip_counts: tuple[int, ...] = (2, 4, 8, 16),
+    columns_per_row: int = 32,
+) -> InvariantReport:
+    """The module must gather exactly the analytical index family.
+
+    Builds a fully-shuffled GS module per chip count and sweeps every
+    ``(pattern, column)`` pair, comparing the machinery's lane map to
+    :func:`repro.core.pattern.gather_spec` (the closed-form model) and
+    checking CTL involution plus duplicate-free ascending assembly.
+    """
+    from repro.core.module import GSModule
+
+    report = InvariantReport("ctl-gather-sets")
+    for chips in chip_counts:
+        stages = ilog2(chips)
+        geometry = Geometry(
+            chips=chips, banks=2, rows_per_bank=8,
+            columns_per_row=columns_per_row,
+        )
+        module = GSModule(
+            geometry=geometry,
+            shuffle=LSBShuffle(stages),
+            pattern_bits=max(1, stages),
+        )
+        for pattern in range(1 << module.pattern_bits):
+            for column in range(columns_per_row):
+                lanes = module.lane_map(column, pattern)
+                row_indices = [entry[2] for entry in lanes]
+                spec = gather_spec(chips, pattern, column)
+                report.checks += 1
+                if sorted(row_indices) != list(spec.indices):
+                    report.fail(
+                        f"gather set {sorted(row_indices)} != "
+                        f"analytical {list(spec.indices)}",
+                        chips=chips, pattern=pattern, column=column,
+                    )
+                report.checks += 1
+                if len(set(row_indices)) != chips:
+                    report.fail(
+                        "gather touches duplicate row-buffer values",
+                        chips=chips, pattern=pattern, column=column,
+                    )
+                # CTL translation is an involution per (chip, pattern).
+                report.checks += 1
+                rank = module.rank
+                if any(
+                    rank.chip_column(chip, rank.chip_column(chip, column, pattern), pattern)
+                    != column
+                    for chip in range(chips)
+                ):
+                    report.fail(
+                        "CTL translation is not an involution",
+                        chips=chips, pattern=pattern, column=column,
+                    )
+                # Assembly order is ascending row-buffer order.
+                report.checks += 1
+                order = module.assembly_order(column, pattern)
+                assembled = [lanes[chip][2] for chip in order]
+                if assembled != sorted(row_indices):
+                    report.fail(
+                        "assembly is not in ascending row-buffer order",
+                        chips=chips, pattern=pattern, column=column,
+                    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# 3. DRAM timing-accounting conservation
+# ----------------------------------------------------------------------
+def _exercise(config: SystemConfig, seed: int = 7, accesses: int = 200) -> tuple[System, RunResult]:
+    """Run a small mixed workload on ``config`` and return the system."""
+    system = System(config)
+    line_bytes = system.module.line_bytes
+    supports = system.module.supports_patterns
+    pattern = mask(config.pattern_bits) if supports else 0
+    span = 8 * 1024
+    base = system.pattmalloc(span, shuffle=supports, pattern=pattern)
+    rng = random.Random(seed)
+
+    def program():
+        for _ in range(accesses):
+            address = base + rng.randrange(span // 8) * 8
+            use_pattern = pattern if (supports and rng.random() < 0.4) else 0
+            if rng.random() < 0.5:
+                yield Load(address, pattern=use_pattern)
+            else:
+                yield Store(address, b"\xabGSDRAM!", pattern=use_pattern)
+            yield Compute(rng.randint(1, 8))
+
+    result = system.run([program()])
+    return system, result
+
+
+def check_timing_conservation(
+    configs: list[SystemConfig] | None = None,
+) -> InvariantReport:
+    """Command/request/cache accounting identities after real runs."""
+    report = InvariantReport("timing-conservation")
+    if configs is None:
+        geometry = Geometry(chips=8, banks=2, rows_per_bank=32, columns_per_row=16)
+        small = dict(l1_size=1024, l1_assoc=2, l2_size=4096, l2_assoc=4)
+        base = table1_config(geometry=geometry, **small)
+        configs = [
+            base,
+            base.with_(open_row_policy=False),
+            base.with_(store_buffer=4),
+        ]
+    for index, config in enumerate(configs):
+        try:
+            system, result = _exercise(config)
+        except ReproError as error:
+            report.checks += 1
+            report.fail(f"workload raised {error}", config=index)
+            continue
+        mc = system.controller.stats
+
+        def expect(condition: bool, detail: str) -> None:
+            report.checks += 1
+            if not condition:
+                report.fail(detail, config=index, stats=mc.as_dict())
+
+        requests = mc.get("requests")
+        column_commands = mc.get("cmd_RD") + mc.get("cmd_WR")
+        expect(
+            requests
+            == mc.get("requests_read")
+            + mc.get("requests_write")
+            + mc.get("requests_prefetch"),
+            "request kinds do not sum to total requests",
+        )
+        expect(
+            column_commands == requests,
+            "each request must be served by exactly one column command",
+        )
+        expect(
+            mc.get("row_hits") + mc.get("row_misses") == column_commands,
+            "row hit/miss accounting does not cover the column commands",
+        )
+        expect(
+            mc.get("cmd_ACT") == mc.get("row_misses"),
+            "each row miss must issue exactly one ACTIVATE",
+        )
+        expect(
+            mc.get("cmd_ACT") - mc.get("cmd_PRE")
+            <= config.geometry.banks,
+            "precharge/activate imbalance exceeds the bank count",
+        )
+        expect(
+            result.l1_hits + result.l1_misses == result.loads + result.stores,
+            "every memory instruction must make exactly one L1 access",
+        )
+        expect(result.cycles > 0, "run completed in zero cycles")
+        expect(
+            all(
+                core.finish_time is not None and core.finish_time <= result.cycles
+                for core in system.cores
+            ),
+            "a core finished after the reported runtime",
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# 4. Energy sanity
+# ----------------------------------------------------------------------
+def check_energy_sanity(results: list[RunResult] | None = None) -> InvariantReport:
+    """Every energy component is non-negative; totals are exact sums."""
+    report = InvariantReport("energy-sanity")
+    if results is None:
+        geometry = Geometry(chips=8, banks=2, rows_per_bank=32, columns_per_row=16)
+        small = dict(l1_size=1024, l1_assoc=2, l2_size=4096, l2_assoc=4)
+        results = [
+            _exercise(table1_config(geometry=geometry, **small))[1],
+            _exercise(
+                table1_config(geometry=geometry, refresh=True, **small)
+            )[1],
+        ]
+    for index, result in enumerate(results):
+        energy = result.energy
+        components = {
+            "cpu.static_mj": energy.cpu.static_mj,
+            "cpu.dynamic_mj": energy.cpu.dynamic_mj,
+            "dram.dynamic_mj": energy.dram.dynamic_mj,
+            "dram.background_mj": energy.dram.background_mj,
+        }
+        for name, value in components.items():
+            report.checks += 1
+            if value < 0:
+                report.fail(f"negative energy component {name}={value}",
+                            run=index)
+        report.checks += 1
+        if abs(energy.total_mj - sum(components.values())) > 1e-9:
+            report.fail("total energy is not the sum of its components",
+                        run=index)
+    return report
+
+
+def run_all_invariants() -> list[InvariantReport]:
+    """The standard battery, in declaration order."""
+    return [
+        check_shuffle_bijectivity(),
+        check_ctl_translation(),
+        check_timing_conservation(),
+        check_energy_sanity(),
+    ]

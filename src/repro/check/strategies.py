@@ -1,0 +1,238 @@
+"""Trace specifications and randomized generators for the checker.
+
+Two layers:
+
+- **Seeded generation** (:func:`random_trace`) — pure ``random.Random``
+  based, no third-party dependencies, used by the differential CLI and
+  the fixed-seed regression tests. A ``(seed, config)`` pair always
+  produces the same trace.
+- **Hypothesis strategies** (:func:`geometries`, :func:`pattern_ids`,
+  :func:`shuffle_functions`, :func:`trace_specs`) — used by the
+  property-test suite. Hypothesis is an optional dev dependency, so it
+  is imported lazily inside each strategy factory.
+
+A trace is machine-agnostic: it names *regions* (what ``pattmalloc``
+will allocate) and *operations* against (region, line, offset) triples.
+:mod:`repro.check.differential` materialises the same trace against
+both the timed system and the flat oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Byte sizes plain (pattern-0) accesses may use.
+_PLAIN_SIZES = (1, 2, 4, 8)
+
+#: Page granularity of the simulator's page table (PageTable default).
+_PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One allocation the trace operates on.
+
+    ``alt_pattern`` is the one non-zero pattern the region may be
+    accessed with (the Section 4.1 coherence restriction); it requires
+    ``shuffled``. ``owner`` is the core that accesses the region —
+    regions are single-owner so the final memory image is independent
+    of cross-core interleaving and the sequential oracle stays exact.
+    """
+
+    lines: int
+    shuffled: bool = False
+    alt_pattern: int = 0
+    owner: int = 0
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One architectural operation (or compute burst) in a trace."""
+
+    kind: str  # "load" | "store" | "compute"
+    core: int = 0
+    region: int = 0
+    line: int = 0
+    offset: int = 0
+    size: int = 8
+    pattern: int = 0
+    payload: bytes | None = None  # stores only
+    cycles: int = 1  # compute only
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A complete differential test case."""
+
+    seed: int
+    cores: int
+    regions: tuple[RegionSpec, ...]
+    ops: tuple[TraceOp, ...]
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def ops_for_core(self, core: int) -> list[TraceOp]:
+        return [op for op in self.ops if op.core == core]
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def _plan_regions(
+    rng: random.Random, config, max_regions: int, cores: int
+) -> list[RegionSpec]:
+    """Pick regions that provably fit the bump allocator's layout."""
+    geometry = config.geometry
+    line_bytes = geometry.line_bytes
+    capacity = geometry.capacity_bytes
+    supports_patterns = config.is_gs
+    regions: list[RegionSpec] = []
+    next_free = 0
+    for index in range(rng.randint(1, max_regions)):
+        shuffled = supports_patterns and rng.random() < 0.75
+        lines = rng.randint(1, 8)
+        size = lines * line_bytes
+        # Mirror PattAllocator's alignment arithmetic to stay in budget.
+        if shuffled:
+            alignment = max(geometry.row_bytes, _PAGE_BYTES)
+            start = _align(next_free, alignment)
+            reserved_end = _align(start + size, _PAGE_BYTES)
+        else:
+            start = _align(next_free, line_bytes)
+            reserved_end = start + size
+        if reserved_end > capacity:
+            break
+        next_free = reserved_end
+        alt_pattern = 0
+        if shuffled and config.pattern_bits > 0 and rng.random() < 0.9:
+            alt_pattern = rng.randint(1, (1 << config.pattern_bits) - 1)
+        regions.append(
+            RegionSpec(
+                lines=lines,
+                shuffled=shuffled,
+                alt_pattern=alt_pattern,
+                owner=index % cores,
+            )
+        )
+    if not regions:
+        raise ConfigError(
+            f"geometry too small for even one trace region "
+            f"(capacity {capacity} bytes)"
+        )
+    return regions
+
+
+def random_trace(
+    seed: int,
+    config,
+    max_regions: int = 3,
+    max_ops: int = 48,
+) -> TraceSpec:
+    """Deterministically generate one trace for ``config`` from ``seed``."""
+    rng = random.Random(seed)
+    cores = config.cores
+    regions = _plan_regions(rng, config, max_regions, cores)
+    line_bytes = config.geometry.line_bytes
+    value_bytes = config.geometry.column_bytes
+    ops: list[TraceOp] = []
+    for _ in range(rng.randint(4, max_ops)):
+        roll = rng.random()
+        if roll < 0.2:
+            core = rng.randrange(cores)
+            ops.append(
+                TraceOp(kind="compute", core=core, cycles=rng.randint(1, 20))
+            )
+            continue
+        region_index = rng.randrange(len(regions))
+        region = regions[region_index]
+        line = rng.randrange(region.lines)
+        patterned = region.alt_pattern != 0 and rng.random() < 0.5
+        if patterned:
+            pattern = region.alt_pattern
+            slots = line_bytes // value_bytes
+            size = value_bytes if rng.random() < 0.7 else 2 * value_bytes
+            slot = rng.randrange(max(1, slots - size // value_bytes + 1))
+            offset = slot * value_bytes
+        else:
+            pattern = 0
+            size = rng.choice(_PLAIN_SIZES)
+            offset = rng.randrange(line_bytes - size + 1)
+        is_store = roll >= 0.65
+        ops.append(
+            TraceOp(
+                kind="store" if is_store else "load",
+                core=region.owner,
+                region=region_index,
+                line=line,
+                offset=offset,
+                size=size,
+                pattern=pattern,
+                payload=rng.randbytes(size) if is_store else None,
+            )
+        )
+    return TraceSpec(seed=seed, cores=cores, regions=tuple(regions), ops=tuple(ops))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies (lazy imports: hypothesis is a dev dependency)
+# ----------------------------------------------------------------------
+def geometries(chip_choices: tuple[int, ...] = (2, 4, 8, 16)):
+    """Strategy for small, sweepable DRAM geometries."""
+    import hypothesis.strategies as st
+
+    from repro.dram.address import Geometry
+
+    return st.builds(
+        Geometry,
+        chips=st.sampled_from(chip_choices),
+        banks=st.sampled_from((2, 4)),
+        rows_per_bank=st.sampled_from((8, 16)),
+        columns_per_row=st.sampled_from((16, 32)),
+    )
+
+
+def pattern_ids(pattern_bits: int):
+    """Strategy for every pattern ID encodable in ``pattern_bits``."""
+    import hypothesis.strategies as st
+
+    return st.integers(min_value=0, max_value=(1 << pattern_bits) - 1)
+
+
+def shuffle_functions(max_stages: int = 4):
+    """Strategy over every ShuffleFunction subclass at random stages."""
+    import hypothesis.strategies as st
+
+    from repro.core.shuffle import (
+        LSBShuffle,
+        MaskedShuffle,
+        NoShuffle,
+        XorFoldShuffle,
+    )
+
+    stages = st.integers(min_value=1, max_value=max_stages)
+    return st.one_of(
+        st.builds(LSBShuffle, stages=stages),
+        stages.flatmap(
+            lambda s: st.builds(
+                MaskedShuffle,
+                stages=st.just(s),
+                stage_mask=st.integers(min_value=0, max_value=(1 << s) - 1),
+            )
+        ),
+        st.builds(XorFoldShuffle, stages=stages),
+        st.just(NoShuffle()),
+    )
+
+
+def trace_specs(config, max_regions: int = 3, max_ops: int = 32):
+    """Strategy for differential traces against one system config."""
+    import hypothesis.strategies as st
+
+    return st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda seed: random_trace(
+            seed, config, max_regions=max_regions, max_ops=max_ops
+        )
+    )

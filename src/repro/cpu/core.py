@@ -56,6 +56,13 @@ class Core:
         #: (loads still block, preserving the in-order load model).
         self.store_buffer = store_buffer
         self._outstanding_stores = 0
+        #: Outstanding buffered stores split by access pattern: a
+        #: younger access must not bypass an older buffered store of the
+        #: *other* pattern class (their footprints can overlap via the
+        #: gather/scatter constituents, Section 4.1), so cross-pattern
+        #: accesses drain the buffer first.
+        self._outstanding_plain = 0
+        self._outstanding_patterned = 0
         self._stalled_store: Store | None = None
         self._draining = False
         self.stats = StatGroup(f"core{core_id}")
@@ -77,7 +84,11 @@ class Core:
     ) -> None:
         """Begin executing ``ops``; drive with ``engine.run()``."""
         if self.running:
-            raise SimulationError(f"core {self.core_id} is already running")
+            raise SimulationError(
+                "core is already running a program",
+                core=self.core_id,
+                cycle=self.engine.now,
+            )
         self._ops = iter(ops)
         self._on_done = on_done
         self._accum = 0
@@ -120,9 +131,28 @@ class Core:
             if not self._issue_memory(op):
                 return  # blocked on a miss; resumes in _memory_done
 
+    def _buffer_hazard(self, pattern: int) -> bool:
+        """Would this access bypass an overlapping buffered store?
+
+        Pattern-0 lines and patterned (gathered) lines of the same rows
+        share bytes, so ordering between the two pattern classes must be
+        preserved; within a class, distinct line keys are disjoint (and
+        same-key accesses are ordered by MSHR merging).
+        """
+        if self._outstanding_stores == 0:
+            return False
+        if pattern:
+            return self._outstanding_plain > 0
+        return self._outstanding_patterned > 0
+
     def _issue_memory(self, op) -> bool:
         """Issue a Load/Store. True if execution continues immediately."""
         is_write = type(op) is Store
+        if self._buffer_hazard(op.pattern):
+            # Drain the store buffer before crossing pattern classes.
+            self._stalled_store = op
+            self.stats.add("store_buffer_drains")
+            return False
         if is_write and self.store_buffer > 0:
             if self._outstanding_stores >= self.store_buffer:
                 self._stalled_store = op
@@ -184,20 +214,30 @@ class Core:
             alt_pattern=alt_pattern,
             pc=op.pc,
             start_time=start_time,
-            callback=self._store_done,
+            callback=lambda data, patterned=bool(op.pattern): self._store_done(
+                patterned
+            ),
         )
         if result is not None:
             latency, _data = result
             self._accum += 1 + latency
             return True
         self._outstanding_stores += 1
+        if op.pattern:
+            self._outstanding_patterned += 1
+        else:
+            self._outstanding_plain += 1
         self.stats.add("stores_overlapped")
         self._accum += 1  # issue cycle only; the miss drains in background
         return True
 
-    def _store_done(self, _data: bytes) -> None:
+    def _store_done(self, patterned: bool) -> None:
         """A buffered store's miss completed."""
         self._outstanding_stores -= 1
+        if patterned:
+            self._outstanding_patterned -= 1
+        else:
+            self._outstanding_plain -= 1
         if self._stalled_store is not None:
             op, self._stalled_store = self._stalled_store, None
             self._accum = 0
@@ -214,7 +254,11 @@ class Core:
         op = self._pending_op
         self._pending_op = None
         if op is None:
-            raise SimulationError(f"core {self.core_id}: spurious completion")
+            raise SimulationError(
+                "spurious memory completion",
+                core=self.core_id,
+                cycle=self.engine.now,
+            )
         # engine.now is the fill completion; execution resumes one cycle
         # later (the memory instruction itself retires).
         self._accum = 1

@@ -4,13 +4,53 @@ All exceptions raised deliberately by this library derive from
 :class:`ReproError`, so callers can catch library errors with a single
 ``except`` clause without swallowing genuine programming errors
 (``TypeError``, ``KeyError``, ...).
+
+Every error can carry *structured context* — keyword arguments such as
+``cycle``, ``core``, ``address``, and ``pattern`` — preserved on the
+exception's ``context`` dict and appended to its string rendering. The
+differential checker (:mod:`repro.check`) relies on this to report
+*where* two machines diverged, and raise sites throughout the simulator
+attach whatever coordinates they know.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
+#: Context keys rendered as hexadecimal (they are byte addresses).
+_HEX_KEYS = frozenset({"address", "line_address", "paddr", "pc", "base"})
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` library."""
+    """Base class for all errors raised by the ``repro`` library.
+
+    ``ReproError("msg", cycle=12, core=0, address=0x40)`` renders as
+    ``msg [core=0, cycle=12, address=0x40]``; the raw values stay
+    available on ``error.context`` for programmatic inspection. ``None``
+    values are dropped so call sites can pass optional coordinates
+    unconditionally.
+    """
+
+    def __init__(self, message: str = "", **context: Any) -> None:
+        self.message = message
+        self.context: dict[str, Any] = {
+            key: value for key, value in context.items() if value is not None
+        }
+        super().__init__(message)
+
+    def _format_value(self, key: str, value: Any) -> str:
+        if key in _HEX_KEYS and isinstance(value, int):
+            return f"{value:#x}"
+        return str(value)
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        details = ", ".join(
+            f"{key}={self._format_value(key, value)}"
+            for key, value in self.context.items()
+        )
+        return f"{self.message} [{details}]"
 
 
 class ConfigError(ReproError):
@@ -45,6 +85,16 @@ class AllocationError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class DivergenceError(SimulationError):
+    """The timed machine diverged from the reference oracle.
+
+    Raised (or collected) by :mod:`repro.check.differential` when the
+    full system's architectural results differ from the flat functional
+    model's. The context dict locates the divergence: ``cycle``,
+    ``core``, ``address``, ``pattern``, and the two disagreeing values.
+    """
 
 
 class WorkloadError(ReproError):

@@ -253,7 +253,12 @@ class MemoryController:
         if self.module.supports_patterns:
             if request.is_write:
                 if request.data is None:
-                    raise SimulationError(f"write without data: {request}")
+                    raise SimulationError(
+                        "write request carries no data",
+                        address=request.address,
+                        pattern=request.pattern,
+                        cycle=self.engine.now,
+                    )
                 self.module.write_line(
                     address, request.data, request.pattern, request.shuffled
                 )
@@ -264,11 +269,18 @@ class MemoryController:
         else:
             if request.pattern:
                 raise SimulationError(
-                    f"patterned request {request} sent to a non-GS module"
+                    "patterned request sent to a non-GS module",
+                    address=request.address,
+                    pattern=request.pattern,
+                    cycle=self.engine.now,
                 )
             if request.is_write:
                 if request.data is None:
-                    raise SimulationError(f"write without data: {request}")
+                    raise SimulationError(
+                        "write request carries no data",
+                        address=request.address,
+                        cycle=self.engine.now,
+                    )
                 self.module.write_line(address, request.data)
             else:
                 request.data = self.module.read_line(address)

@@ -218,7 +218,8 @@ class System:
         """
         if len(programs) > len(self.cores):
             raise SimulationError(
-                f"{len(programs)} programs for {len(self.cores)} cores"
+                f"{len(programs)} programs for {len(self.cores)} cores",
+                cycle=self.engine.now,
             )
 
         def on_done(core: Core) -> None:

@@ -2,7 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is an optional dev dependency
+    pass
+else:
+    # "ci" is the default: derandomized (fixed example sequence) so the
+    # tier-1 run and CI are reproducible; "deep" widens the search for
+    # local fuzzing sessions (HYPOTHESIS_PROFILE=deep pytest -m fuzz).
+    settings.register_profile(
+        "ci", derandomize=True, max_examples=50, deadline=None
+    )
+    settings.register_profile("deep", max_examples=500, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.core.substrate import GSDRAM
 from repro.dram.address import Geometry

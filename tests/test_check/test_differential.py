@@ -1,0 +1,74 @@
+"""Differential regression: the timed machine vs the flat oracle.
+
+The headline acceptance test drives the full standard sweep — every
+machine variant in :func:`differential_configs` across three chip
+counts — on 200+ fixed-seed traces and requires zero mismatches. The
+seeds are fixed, so a failure here is a deterministic reproduction
+recipe: the report names the seed, config, core, address, and pattern
+of the first divergence.
+"""
+
+import pytest
+
+from repro.check.differential import (
+    differential_configs,
+    run_differential,
+    run_trace,
+)
+from repro.check.strategies import random_trace
+
+
+class TestTraceGeneration:
+    def test_traces_are_deterministic(self):
+        config = differential_configs()[0]
+        assert random_trace(42, config) == random_trace(42, config)
+        assert random_trace(42, config) != random_trace(43, config)
+
+    def test_traces_respect_region_ownership(self):
+        config = differential_configs()[3]  # two-core variant
+        trace = random_trace(7, config)
+        for op in trace.ops:
+            if op.kind != "compute":
+                assert op.core == trace.regions[op.region].owner
+
+    def test_patterned_ops_use_the_region_alt_pattern(self):
+        """Section 4.1: one non-zero pattern per structure."""
+        config = differential_configs()[0]
+        for seed in range(20):
+            trace = random_trace(seed, config)
+            for op in trace.ops:
+                if op.kind != "compute" and op.pattern:
+                    assert op.pattern == trace.regions[op.region].alt_pattern
+
+
+class TestSingleTrace:
+    def test_one_trace_compares_real_data(self):
+        config = differential_configs()[0]
+        report = run_trace(config, random_trace(2015, config))
+        assert report.ok, report.render()
+        assert report.traces == 1
+        assert report.bytes_compared > 0
+
+    def test_report_render_mentions_status(self):
+        config = differential_configs()[0]
+        report = run_trace(config, random_trace(2015, config))
+        assert "OK" in report.render()
+
+
+class TestStandardSweep:
+    def test_sweep_covers_three_geometries(self):
+        chips = {config.geometry.chips for config in differential_configs()}
+        assert len(chips) >= 3
+
+    def test_zero_mismatches_over_200_traces(self):
+        """Acceptance: ≥200 fixed-seed traces, ≥3 geometries, no diffs."""
+        report = run_differential(traces_per_config=16)
+        assert report.traces >= 200
+        assert report.accesses_compared > 0
+        assert report.ok, report.render()
+
+    @pytest.mark.fuzz
+    def test_deep_sweep(self):
+        """Wider seed coverage; run explicitly (-m fuzz) or in CI."""
+        report = run_differential(traces_per_config=60, max_ops=96)
+        assert report.ok, report.render()

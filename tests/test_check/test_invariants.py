@@ -1,0 +1,99 @@
+"""Tests for the invariant checkers (repro.check.invariants)."""
+
+from types import SimpleNamespace
+
+from repro.check.invariants import (
+    check_ctl_translation,
+    check_energy_sanity,
+    check_shuffle_bijectivity,
+    check_timing_conservation,
+    run_all_invariants,
+)
+from repro.core.shuffle import ShuffleFunction
+from repro.dram.address import Geometry
+from repro.sim.config import table1_config
+
+
+class TestBatteryPasses:
+    def test_all_invariants_hold(self):
+        for report in run_all_invariants():
+            assert report.ok, report.render()
+            assert report.checks > 0
+
+    def test_timing_conservation_with_store_buffer(self):
+        """Regression: buffered stores must not leak command accounting.
+
+        This configuration also exercises the cross-pattern store-buffer
+        drain (a younger access of one pattern class must wait for older
+        buffered stores of the other class).
+        """
+        geometry = Geometry(chips=8, banks=2, rows_per_bank=32,
+                            columns_per_row=16)
+        config = table1_config(
+            geometry=geometry, store_buffer=4, open_row_policy=False,
+            l1_size=1024, l1_assoc=2, l2_size=4096, l2_assoc=4,
+        )
+        report = check_timing_conservation([config])
+        assert report.ok, report.render()
+
+
+class _BrokenShuffle(ShuffleFunction):
+    """Maps every lane to lane 0 — flagrantly not a permutation."""
+
+    stages = 2
+
+    def control_bits(self, column):
+        return column & 0b11
+
+    def apply(self, values, column):
+        return [values[0]] * len(values)
+
+
+class TestSeededViolationsAreFlagged:
+    def test_bijectivity_checker_rejects_non_permutation(self):
+        report = check_shuffle_bijectivity(functions=[_BrokenShuffle()],
+                                           columns=4)
+        assert not report.ok
+        assert any("not a permutation" in v.detail for v in report.violations)
+
+    def test_energy_checker_rejects_negative_component(self):
+        bogus = SimpleNamespace(
+            energy=SimpleNamespace(
+                cpu=SimpleNamespace(static_mj=1.0, dynamic_mj=-0.5),
+                dram=SimpleNamespace(dynamic_mj=0.25, background_mj=0.25),
+                total_mj=1.0,
+            )
+        )
+        report = check_energy_sanity(results=[bogus])
+        assert not report.ok
+        assert any("negative energy" in v.detail for v in report.violations)
+
+    def test_energy_checker_rejects_inconsistent_total(self):
+        bogus = SimpleNamespace(
+            energy=SimpleNamespace(
+                cpu=SimpleNamespace(static_mj=1.0, dynamic_mj=1.0),
+                dram=SimpleNamespace(dynamic_mj=1.0, background_mj=1.0),
+                total_mj=5.0,
+            )
+        )
+        report = check_energy_sanity(results=[bogus])
+        assert not report.ok
+
+    def test_violation_render_includes_context(self):
+        report = check_shuffle_bijectivity(functions=[_BrokenShuffle()],
+                                           columns=1)
+        rendered = report.render()
+        assert "VIOLATIONS" in rendered
+        assert "column=0" in rendered
+
+
+class TestCTLSweep:
+    def test_covers_all_four_chip_counts(self):
+        report = check_ctl_translation()
+        assert report.ok, report.render()
+        # 4 properties per (pattern, column) pair, summed over chip counts.
+        expected = sum(
+            4 * (1 << max(1, chips.bit_length() - 1)) * 32
+            for chips in (2, 4, 8, 16)
+        )
+        assert report.checks == expected

@@ -27,3 +27,35 @@ class TestCLI:
     def test_figures_scale_validation(self):
         with pytest.raises(SystemExit):
             main(["figures", "--scale", "gigantic"])
+
+
+class TestCheckCommand:
+    def test_clean_sweep_exits_zero(self, capsys):
+        code = main(["check", "--skip-invariants", "--traces", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "all checks passed" in captured.out
+
+    def test_violations_exit_nonzero(self, capsys, monkeypatch):
+        from repro.core.ctl import ColumnTranslationLogic
+
+        original = ColumnTranslationLogic.translate
+
+        def corrupted(self, column, pattern, is_column_command=True):
+            result = original(self, column, pattern, is_column_command)
+            return result ^ 1 if (is_column_command and pattern) else result
+
+        monkeypatch.setattr(ColumnTranslationLogic, "translate", corrupted)
+        code = main(["check", "--skip-invariants", "--traces", "4"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.out
+
+    def test_check_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--bogus"])
+
+    def test_console_script_entry_point(self, capsys):
+        from repro.check.cli import main as check_main
+
+        assert check_main(["--skip-differential", "--skip-invariants"]) == 0

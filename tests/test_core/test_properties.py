@@ -1,0 +1,134 @@
+"""Property-based tests for the substrate's algebraic laws.
+
+Hypothesis explores the input space; the laws come straight from the
+paper: the butterfly shuffle is a self-inverting permutation whose
+stagewise hardware datapath equals the XOR closed form (Section 3.2),
+the CTL is an involution per (chip, pattern) (Section 3.3), and a
+gather/scatter pair round-trips through the module for every chip
+count the design supports.
+
+The default profile is derandomized (see tests/conftest.py), so these
+run as fixed regressions in tier-1 and CI; use HYPOTHESIS_PROFILE=deep
+for a wider local search.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.check.strategies import pattern_ids, shuffle_functions  # noqa: E402
+from repro.core.ctl import ColumnTranslationLogic  # noqa: E402
+from repro.core.module import GSModule  # noqa: E402
+from repro.core.shuffle import (  # noqa: E402
+    LSBShuffle,
+    NoShuffle,
+    shuffle,
+    shuffle_stagewise,
+    unshuffle,
+)
+from repro.dram.address import Geometry  # noqa: E402
+
+columns = st.integers(min_value=0, max_value=255)
+chip_counts = st.sampled_from((2, 4, 8, 16))
+
+
+class TestShuffleLaws:
+    @given(fn=shuffle_functions(), column=columns)
+    def test_apply_then_invert_is_identity(self, fn, column):
+        lanes = list(range(max(2, 1 << fn.stages)))
+        assert fn.invert(fn.apply(lanes, column), column) == lanes
+
+    @given(fn=shuffle_functions(), column=columns)
+    def test_apply_is_a_permutation(self, fn, column):
+        lanes = list(range(max(2, 1 << fn.stages)))
+        assert sorted(fn.apply(lanes, column)) == lanes
+
+    @given(fn=shuffle_functions(), column=columns)
+    def test_stagewise_butterfly_equals_closed_form(self, fn, column):
+        lanes = list(range(max(2, 1 << fn.stages)))
+        assert shuffle_stagewise(
+            lanes, fn.control_bits(column), fn.stages
+        ) == fn.apply(lanes, column)
+
+    @given(chips=chip_counts, column=columns)
+    def test_module_shuffle_round_trips(self, chips, column):
+        stages = chips.bit_length() - 1
+        lanes = list(range(chips))
+        assert unshuffle(shuffle(lanes, column, stages), column, stages) == lanes
+
+    @given(column=columns)
+    def test_no_shuffle_is_identity(self, column):
+        lanes = list(range(8))
+        assert NoShuffle().apply(lanes, column) == lanes
+
+
+class TestCTLLaws:
+    @given(
+        chips=chip_counts,
+        column=st.integers(min_value=0, max_value=63),
+        data=st.data(),
+    )
+    def test_translation_is_an_involution(self, chips, column, data):
+        bits = max(1, chips.bit_length() - 1)
+        pattern = data.draw(pattern_ids(bits))
+        chip = data.draw(st.integers(min_value=0, max_value=chips - 1))
+        ctl = ColumnTranslationLogic(chip, chips, bits)
+        assert ctl.translate(ctl.translate(column, pattern), pattern) == column
+
+    @given(chips=chip_counts, column=st.integers(min_value=0, max_value=63))
+    def test_pattern_zero_is_identity(self, chips, column):
+        bits = max(1, chips.bit_length() - 1)
+        for chip in range(chips):
+            ctl = ColumnTranslationLogic(chip, chips, bits)
+            assert ctl.translate(column, 0) == column
+
+    @given(
+        chips=chip_counts,
+        column=st.integers(min_value=0, max_value=63),
+        data=st.data(),
+    )
+    def test_row_commands_bypass_translation(self, chips, column, data):
+        bits = max(1, chips.bit_length() - 1)
+        pattern = data.draw(pattern_ids(bits))
+        ctl = ColumnTranslationLogic(chips - 1, chips, bits)
+        assert ctl.translate(column, pattern, is_column_command=False) == column
+
+
+def _module(chips: int) -> GSModule:
+    stages = chips.bit_length() - 1
+    geometry = Geometry(
+        chips=chips, banks=2, rows_per_bank=8, columns_per_row=16
+    )
+    return GSModule(
+        geometry=geometry,
+        shuffle=LSBShuffle(stages),
+        pattern_bits=max(1, stages),
+    )
+
+
+class TestModuleRoundTrips:
+    @given(
+        chips=chip_counts,
+        column=st.integers(min_value=0, max_value=15),
+        data=st.data(),
+    )
+    def test_write_line_read_line_round_trips(self, chips, column, data):
+        """Scatter with a pattern, gather with the same pattern."""
+        module = _module(chips)
+        pattern = data.draw(pattern_ids(module.pattern_bits))
+        payload = bytes(data.draw(
+            st.binary(min_size=module.line_bytes, max_size=module.line_bytes)
+        ))
+        address = column * module.line_bytes
+        module.write_line(address, payload, pattern=pattern, shuffled=True)
+        assert module.read_line(address, pattern=pattern, shuffled=True) == payload
+
+    @given(chips=chip_counts, column=st.integers(min_value=0, max_value=15))
+    def test_gather_sets_partition_the_row(self, chips, column):
+        """No two chips supply the same row-buffer value (Section 3.3)."""
+        module = _module(chips)
+        for pattern in range(1 << module.pattern_bits):
+            indices = [entry[2] for entry in module.lane_map(column, pattern)]
+            assert len(set(indices)) == chips

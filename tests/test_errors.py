@@ -28,3 +28,48 @@ class TestHierarchy:
             GSDRAM.configure(chips=4, geometry=Geometry(chips=8))
         with pytest.raises(errors.ReproError):
             Geometry(banks=3)
+
+    def test_divergence_error_is_a_simulation_error(self):
+        assert issubclass(errors.DivergenceError, errors.SimulationError)
+
+
+class TestStructuredContext:
+    def test_context_is_captured(self):
+        error = errors.SimulationError("boom", core=1, cycle=42, pattern=3)
+        assert error.context == {"core": 1, "cycle": 42, "pattern": 3}
+        assert error.message == "boom"
+
+    def test_str_renders_message_and_context(self):
+        error = errors.SimulationError("boom", core=0, cycle=12)
+        assert str(error) == "boom [core=0, cycle=12]"
+
+    def test_addresses_render_in_hex(self):
+        error = errors.CoherenceError("stale line", address=0x40, core=2)
+        assert "address=0x40" in str(error)
+
+    def test_none_context_values_are_dropped(self):
+        error = errors.SimulationError("x", core=None, cycle=7)
+        assert error.context == {"cycle": 7}
+
+    def test_plain_message_renders_without_brackets(self):
+        assert str(errors.SimulationError("plain")) == "plain"
+
+    def test_context_survives_exception_chaining(self):
+        try:
+            try:
+                raise errors.ProtocolError("inner", address=0x80)
+            except errors.ProtocolError as inner:
+                raise errors.SimulationError("outer", cycle=5) from inner
+        except errors.SimulationError as outer:
+            assert outer.context["cycle"] == 5
+            assert outer.__cause__.context["address"] == 0x80
+
+    def test_machine_errors_carry_context(self):
+        """End-to-end: a real misuse error names where it happened."""
+        from repro.sim.config import table1_config
+        from repro.sim.system import System
+
+        system = System(table1_config(cores=1))
+        with pytest.raises(errors.SimulationError) as excinfo:
+            system.run([[], []])
+        assert "cycle" in excinfo.value.context

@@ -1,0 +1,57 @@
+"""Golden-file regression tests for the figure harnesses.
+
+``benchmarks/results/`` holds the committed reference outputs. Figure 7
+is purely functional (the gathered index families of GS-DRAM(4,2,2)),
+so its rendering must match the golden file byte-for-byte. Figure 9 is
+a timing result: the golden file was produced at the default scale, so
+we re-run at the quick scale and compare the *headline ratios* with a
+tolerance — the paper's claims are about ratios, not absolute cycle
+counts, and the ratios are stable across scales.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.harness import render_figure7, run_figure9
+from repro.harness.common import QUICK
+
+RESULTS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+RATIO_PATTERNS = {
+    "column_store_speedup": r"vs Column Store \(paper: ~3x\): ([\d.]+)x",
+    "row_store_parity": r"vs Row Store \(paper: ~1x, parity\): ([\d.]+)x",
+}
+
+
+def _golden(name: str) -> str:
+    path = RESULTS / name
+    if not path.exists():
+        pytest.skip(f"golden file {name} not committed")
+    return path.read_text()
+
+
+class TestFigure7Golden:
+    def test_rendering_matches_golden_exactly(self):
+        assert render_figure7() + "\n" == _golden("fig7.txt")
+
+
+class TestFigure9Golden:
+    def test_headline_ratios_match_golden(self):
+        golden = _golden("fig9.txt")
+        _figure, summary = run_figure9(QUICK)
+        rendered = summary.render()
+        for name, pattern in RATIO_PATTERNS.items():
+            golden_match = re.search(pattern, golden)
+            fresh_match = re.search(pattern, rendered)
+            assert golden_match, f"golden fig9.txt lost the {name} line"
+            assert fresh_match, f"summary rendering lost the {name} line"
+            want = float(golden_match.group(1))
+            got = float(fresh_match.group(1))
+            if name == "row_store_parity":
+                # Parity claim: both runs should sit near 1.0x.
+                assert abs(got - want) <= 0.1, (name, want, got)
+            else:
+                # Ratio claim: quick scale may drift, but only mildly.
+                assert abs(got - want) / want <= 0.25, (name, want, got)

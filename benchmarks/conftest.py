@@ -12,7 +12,12 @@ Scale is selected with ``REPRO_SCALE`` (quick / default / full).
 
 from __future__ import annotations
 
+import os
 import pathlib
+
+# pytest-benchmark timings must measure the simulator, not the result
+# cache: a cached rerun would report cache-hit latency as "the figure".
+os.environ["REPRO_CACHE"] = "0"
 
 _FIGURES: list[tuple[str, str]] = []
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"

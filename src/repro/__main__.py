@@ -2,8 +2,14 @@
 
 Commands:
 
-- ``figures [--scale quick|default|full]`` — run every paper-figure
-  driver and print the reproduced tables (no pytest needed).
+- ``figures [--scale quick|default|full] [--jobs N]`` — run every
+  paper-figure driver and print the reproduced tables (no pytest
+  needed). Finished figures are memoised in the result cache, so a
+  rerun at the same scale and code version is nearly instant; set
+  ``REPRO_CACHE=0`` to force fresh simulations.
+- ``bench [--scale ...] [--jobs N]`` — time the tier-1 workloads,
+  write a ``BENCH_<date>.json`` baseline, and fail on wall-clock
+  regression against the previous baseline (see docs/TESTING.md).
 - ``quickstart`` — the substrate walk-through (same as
   examples/quickstart.py).
 - ``report`` — regenerate EXPERIMENTS.md from benchmarks/results/.
@@ -19,7 +25,7 @@ import os
 import sys
 
 
-def run_figures(scale_name: str) -> int:
+def run_figures(scale_name: str, jobs: int | None = None) -> int:
     os.environ["REPRO_SCALE"] = scale_name
     from repro.harness import (
         current_scale,
@@ -30,23 +36,58 @@ def run_figures(scale_name: str) -> int:
         run_figure12,
         run_figure13,
     )
+    from repro.perf import default_cache
 
     scale = current_scale()
+    cache = default_cache()
+
+    def memo(name, build):
+        """Whole-figure memoisation: a warm rerun skips the driver."""
+        if cache is None:
+            return build()
+        key = f"figure:{name}:scale={scale.name}"
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        value = build()
+        cache.put(key, value)
+        return value
+
     print(f"running all figure drivers at scale '{scale.name}'\n")
-    print(render_figure7(), "\n")
-    for runner in (run_figure9, run_figure10, run_figure13):
-        outputs = runner(scale)
+    print(memo("fig7", render_figure7), "\n")
+    for name, runner in (("fig9", run_figure9), ("fig10", run_figure10),
+                         ("fig13", run_figure13)):
+        outputs = memo(name, lambda runner=runner: runner(scale, jobs=jobs))
         for output in outputs:
             print(output.render(), "\n")
-    analytics, throughput, summary = run_figure11(scale)
+    analytics, throughput, summary = memo(
+        "fig11", lambda: run_figure11(scale, jobs=jobs)
+    )
     print(analytics.render(), "\n")
     print(throughput.render(), "\n")
     print(summary.render(), "\n")
-    perf, energy, summary12 = run_figure12(scale)
+    perf, energy, summary12 = memo(
+        "fig12", lambda: run_figure12(scale, jobs=jobs)
+    )
     print(perf.render(), "\n")
     print(energy.render(), "\n")
     print(summary12.render())
     return 0
+
+
+def run_bench_command(args) -> int:
+    from repro.perf.bench import render_summary, run_bench
+
+    payload, exit_code = run_bench(
+        scale_name=args.scale,
+        jobs=args.jobs,
+        results_dir=args.results_dir,
+        threshold=args.threshold,
+        check_regression=not args.no_regression_check,
+        write=not args.dry_run,
+    )
+    print(render_summary(payload))
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,13 +103,35 @@ def main(argv: list[str] | None = None) -> int:
     figures = sub.add_parser("figures", help="reproduce every paper figure")
     figures.add_argument("--scale", default="quick",
                          choices=["quick", "default", "full"])
+    figures.add_argument("--jobs", type=int, default=None,
+                         help="parallel simulation workers "
+                              "(default: REPRO_JOBS or 1)")
+    bench = sub.add_parser(
+        "bench", help="time the tier-1 workloads; write a BENCH baseline"
+    )
+    bench.add_argument("--scale", default="quick",
+                       choices=["quick", "default", "full"])
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="parallel simulation workers "
+                            "(default: REPRO_JOBS or 1)")
+    bench.add_argument("--results-dir", default="benchmarks/results",
+                       help="where BENCH_*.json baselines live")
+    bench.add_argument("--threshold", type=float, default=0.15,
+                       help="fail when total wall-clock regresses by more "
+                            "than this fraction (default 0.15)")
+    bench.add_argument("--no-regression-check", action="store_true",
+                       help="measure and write only; never fail")
+    bench.add_argument("--dry-run", action="store_true",
+                       help="do not write a BENCH_*.json file")
     sub.add_parser("quickstart", help="substrate walk-through")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     sub.add_parser("check", help="run invariant checkers + differential oracle")
     args = parser.parse_args(argv)
 
     if args.command == "figures":
-        return run_figures(args.scale)
+        return run_figures(args.scale, jobs=args.jobs)
+    if args.command == "bench":
+        return run_bench_command(args)
     if args.command == "quickstart":
         sys.path.insert(0, "examples")
         import importlib.util

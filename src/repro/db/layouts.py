@@ -296,6 +296,67 @@ class GSDRAMStore(StorageLayout):
                     yield Compute(SCAN_COMPUTE_CYCLES)
 
 
+class PartialGatherStore(GSDRAMStore):
+    """A GS store that scans with a smaller-stride pattern.
+
+    With pattern ``p = 2^s - 1`` (s < 3), one gathered line holds field
+    ``f`` for only ``2^s`` tuples (the other chips return other
+    fields), so a field scan needs ``8 / 2^s`` gathers per 8-tuple
+    group, touching proportionally more lines. The useful positions
+    within each gathered line are computed from the gather geometry —
+    the same mapping knowledge pattern-aware software always needs.
+
+    Used by the shuffle-stage sweep; registered with the run-spec
+    layout registry as ``partial-gather-<pattern>``.
+    """
+
+    name = "Partial Gather"
+
+    def __init__(self, pattern: int) -> None:
+        super().__init__()
+        self._scan_pattern = pattern
+
+    def attach(self, system: System, num_tuples: int) -> None:
+        if num_tuples % self.schema.num_fields != 0:
+            raise WorkloadError("tuple count must be a multiple of 8")
+        self.system = system
+        self.num_tuples = num_tuples
+        self.pattern = self._scan_pattern
+        self.base = system.pattmalloc(
+            num_tuples * self.schema.tuple_bytes, shuffle=True,
+            pattern=self._scan_pattern,
+        )
+
+    def analytics_ops(self, query: AnalyticsQuery, on_value: ValueSink) -> Iterator:
+        from repro.core.pattern import gather_spec
+
+        self._require_attached()
+        pattern = self._scan_pattern
+        group = pattern + 1
+        chips = self.schema.num_fields
+        columns_per_row = 128
+        sink = lambda b: on_value(_u64(b))
+        for field in query.fields:
+            self.schema.validate_field(field)
+            for window in range(0, self.num_tuples, group):
+                # The gathered line holding field `field` of tuples
+                # window..window+group-1 is issued at this column:
+                column = (window - window % group) + (field & pattern)
+                spec = gather_spec(chips, pattern, column % columns_per_row)
+                # Positions whose gathered value is field `field` of a
+                # window tuple (value index == field).
+                positions = [i for i, idx in enumerate(spec.indices)
+                             if idx % chips == field]
+                lead = True
+                for position in positions:
+                    address = self.base + column * 64 + position * 8
+                    pc = (0x7300 if lead else 0x7380) + field
+                    lead = False
+                    yield pattload(address, pattern=pattern, pc=pc,
+                                   on_value=sink)
+                    yield Compute(1)
+
+
 def all_layouts(schema: TableSchema | None = None) -> list[StorageLayout]:
     """Fresh instances of the three layouts (one experiment each)."""
     return [RowStore(schema), ColumnStore(schema), GSDRAMStore(schema)]

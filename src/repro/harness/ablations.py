@@ -23,13 +23,14 @@
 from __future__ import annotations
 
 from repro.core.pattern import chip_conflicts
-from repro.db.engine import run_analytics, run_htap, run_transactions
-from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
+from repro.db.engine import run_analytics
+from repro.db.layouts import GSDRAMStore, RowStore
 from repro.db.workload import AnalyticsQuery, TransactionMix
 from repro.db.table import OracleTable
 from repro.db.workload import make_rows
 from repro.harness.common import Scale, current_scale
 from repro.cpu.isa import Load
+from repro.perf import RunSpec, run_specs
 from repro.sim.config import SchedulerKind, impulse_config, plain_dram_config, table1_config
 from repro.sim.system import System
 from repro.utils.records import FigureResult
@@ -57,7 +58,8 @@ def run_shuffle_ablation(chips: int = 8) -> FigureResult:
     return figure
 
 
-def run_scheduler_ablation(scale: Scale | None = None) -> FigureResult:
+def run_scheduler_ablation(scale: Scale | None = None,
+                           jobs: int | None = None) -> FigureResult:
     """abl-2: HTAP transaction throughput under FR-FCFS vs FCFS."""
     scale = scale or current_scale()
     figure = FigureResult(
@@ -65,17 +67,23 @@ def run_scheduler_ablation(scale: Scale | None = None) -> FigureResult:
         description="HTAP txn throughput (M/s) by memory scheduler, with prefetch",
         x_label="scheduler",
     )
-    for kind in (SchedulerKind.FR_FCFS, SchedulerKind.FCFS):
-        overrides = {"l2_size": scale.htap_l2_size, "scheduler": kind}
-        for layout_cls in (RowStore, GSDRAMStore):
-            layout = layout_cls()
-            run = run_htap(
-                layout,
-                num_tuples=scale.htap_tuples,
-                prefetch=True,
-                config_overrides=overrides,
-            )
-            figure.add_point(layout.name, kind.value, run.txn_throughput_mps)
+    points = [
+        (kind, layout)
+        for kind in (SchedulerKind.FR_FCFS, SchedulerKind.FCFS)
+        for layout in ("Row Store", "GS-DRAM")
+    ]
+    specs = [
+        RunSpec(
+            kind="htap",
+            layout=layout,
+            params={"num_tuples": scale.htap_tuples, "prefetch": True},
+            config_overrides={"l2_size": scale.htap_l2_size,
+                              "scheduler": kind},
+        )
+        for kind, layout in points
+    ]
+    for (kind, layout), run in zip(points, run_specs(specs, jobs=jobs)):
+        figure.add_point(layout, kind.value, run.txn_throughput_mps)
     figure.notes.append(
         "Row Store's starvation of the transaction thread is an FR-FCFS "
         "effect: FCFS narrows the gap"
@@ -86,6 +94,7 @@ def run_scheduler_ablation(scale: Scale | None = None) -> FigureResult:
 def run_scaling_ablation(
     sizes: tuple[int, ...] = (4096, 16384, 65536),
     transactions: int = 400,
+    jobs: int | None = None,
 ) -> FigureResult:
     """abl-3: headline ratios across table sizes (shape stability)."""
     figure = FigureResult(
@@ -95,23 +104,38 @@ def run_scaling_ablation(
     )
     mix = TransactionMix(4, 2, 2)
     query = AnalyticsQuery((0,))
+    layouts = ("Row Store", "Column Store", "GS-DRAM")
+    points = [
+        (workload, tuples, layout)
+        for tuples in sizes
+        for workload in ("txn", "anl")
+        for layout in layouts
+    ]
+    specs = [
+        RunSpec(kind="transactions", layout=layout,
+                params={"mix": mix, "num_tuples": tuples,
+                        "count": transactions})
+        if workload == "txn"
+        else RunSpec(kind="analytics", layout=layout,
+                     params={"query": query, "num_tuples": tuples,
+                             "prefetch": True})
+        for workload, tuples, layout in points
+    ]
+    cycles = {
+        point: run.result.cycles
+        for point, run in zip(points, run_specs(specs, jobs=jobs))
+    }
     for tuples in sizes:
-        txn = {
-            cls().name: run_transactions(
-                cls(), mix, num_tuples=tuples, count=transactions
-            ).result.cycles
-            for cls in (RowStore, ColumnStore, GSDRAMStore)
-        }
-        anl = {
-            cls().name: run_analytics(
-                cls(), query, num_tuples=tuples, prefetch=True
-            ).result.cycles
-            for cls in (RowStore, ColumnStore, GSDRAMStore)
-        }
-        figure.add_point("txn: Column/GS", tuples,
-                         txn["Column Store"] / txn["GS-DRAM"])
-        figure.add_point("anl: Row/GS", tuples,
-                         anl["Row Store"] / anl["GS-DRAM"])
+        figure.add_point(
+            "txn: Column/GS", tuples,
+            cycles[("txn", tuples, "Column Store")]
+            / cycles[("txn", tuples, "GS-DRAM")],
+        )
+        figure.add_point(
+            "anl: Row/GS", tuples,
+            cycles[("anl", tuples, "Row Store")]
+            / cycles[("anl", tuples, "GS-DRAM")],
+        )
     figure.notes.append(
         "both headline ratios should stay in the same band across sizes"
     )

@@ -66,6 +66,15 @@ FULL = Scale(
 _PRESETS = {scale.name: scale for scale in (QUICK, DEFAULT, FULL)}
 
 
+def scale_by_name(name: str) -> Scale:
+    """The preset called ``name`` (quick / default / full)."""
+    if name not in _PRESETS:
+        raise ValueError(
+            f"unknown scale {name!r}; expected one of {sorted(_PRESETS)}"
+        )
+    return _PRESETS[name]
+
+
 def current_scale() -> Scale:
     """Scale selected by ``REPRO_SCALE`` (default: "default")."""
     name = os.environ.get("REPRO_SCALE", "default").lower()

@@ -8,11 +8,10 @@ all three mechanisms.
 
 from __future__ import annotations
 
-from repro.db.engine import run_analytics
-from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
 from repro.db.workload import AnalyticsQuery
 from repro.errors import WorkloadError
-from repro.harness.common import Scale, current_scale
+from repro.harness.common import MECHANISMS, Scale, current_scale
+from repro.perf import RunSpec, run_specs
 from repro.utils.records import ComparisonSummary, FigureResult
 
 QUERIES = (AnalyticsQuery((0,)), AnalyticsQuery((0, 1)))
@@ -20,6 +19,7 @@ QUERIES = (AnalyticsQuery((0,)), AnalyticsQuery((0, 1)))
 
 def run_figure10(
     scale: Scale | None = None,
+    jobs: int | None = None,
 ) -> tuple[FigureResult, ComparisonSummary]:
     """Run the Figure 10 sweep (k columns x prefetch on/off)."""
     scale = scale or current_scale()
@@ -31,19 +31,29 @@ def run_figure10(
         ),
         x_label="query / prefetch",
     )
-    for prefetch in (False, True):
-        for query in QUERIES:
-            label = f"{query.label}{' +pf' if prefetch else ''}"
-            for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
-                layout = layout_cls()
-                run = run_analytics(
-                    layout, query, num_tuples=scale.db_tuples, prefetch=prefetch
-                )
-                if not run.verified:
-                    raise WorkloadError(
-                        f"analytics answer wrong: {layout.name} {label}"
-                    )
-                figure.add_point(layout.name, label, run.result.cycles)
+    points = [
+        (prefetch, query, layout)
+        for prefetch in (False, True)
+        for query in QUERIES
+        for layout in MECHANISMS
+    ]
+    specs = [
+        RunSpec(
+            kind="analytics",
+            layout=layout,
+            params={
+                "query": query,
+                "num_tuples": scale.db_tuples,
+                "prefetch": prefetch,
+            },
+        )
+        for prefetch, query, layout in points
+    ]
+    for (prefetch, query, layout), run in zip(points, run_specs(specs, jobs=jobs)):
+        label = f"{query.label}{' +pf' if prefetch else ''}"
+        if not run.verified:
+            raise WorkloadError(f"analytics answer wrong: {layout} {label}")
+        figure.add_point(layout, label, run.result.cycles)
 
     summary = ComparisonSummary(figure="Figure 10")
     summary.record(

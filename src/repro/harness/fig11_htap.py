@@ -14,14 +14,14 @@ on two cores sharing the L2 and the memory channel. Paper result:
 
 from __future__ import annotations
 
-from repro.db.engine import run_htap
-from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
-from repro.harness.common import Scale, current_scale
+from repro.harness.common import MECHANISMS, Scale, current_scale
+from repro.perf import RunSpec, run_specs
 from repro.utils.records import ComparisonSummary, FigureResult
 
 
 def run_figure11(
     scale: Scale | None = None,
+    jobs: int | None = None,
 ) -> tuple[FigureResult, FigureResult, ComparisonSummary]:
     """Run Figure 11; returns (11a analytics, 11b throughput, ratios)."""
     scale = scale or current_scale()
@@ -39,18 +39,24 @@ def run_figure11(
         description="HTAP transaction throughput (million txns/sec)",
         x_label="prefetch",
     )
-    for prefetch in (False, True):
+    points = [
+        (prefetch, layout)
+        for prefetch in (False, True)
+        for layout in MECHANISMS
+    ]
+    specs = [
+        RunSpec(
+            kind="htap",
+            layout=layout,
+            params={"num_tuples": scale.htap_tuples, "prefetch": prefetch},
+            config_overrides=overrides,
+        )
+        for prefetch, layout in points
+    ]
+    for (prefetch, layout), run in zip(points, run_specs(specs, jobs=jobs)):
         label = "with pf" if prefetch else "w/o pf"
-        for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
-            layout = layout_cls()
-            run = run_htap(
-                layout,
-                num_tuples=scale.htap_tuples,
-                prefetch=prefetch,
-                config_overrides=overrides,
-            )
-            analytics_fig.add_point(layout.name, label, run.analytics_cycles)
-            throughput_fig.add_point(layout.name, label, run.txn_throughput_mps)
+        analytics_fig.add_point(layout, label, run.analytics_cycles)
+        throughput_fig.add_point(layout, label, run.txn_throughput_mps)
 
     summary = ComparisonSummary(figure="Figure 11")
     summary.record(

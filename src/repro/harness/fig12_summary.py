@@ -12,11 +12,10 @@ prefetching).
 
 from __future__ import annotations
 
-from repro.db.engine import run_analytics, run_transactions
-from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
 from repro.db.workload import FIGURE9_MIXES, AnalyticsQuery
 from repro.errors import WorkloadError
-from repro.harness.common import Scale, current_scale
+from repro.harness.common import MECHANISMS, Scale, current_scale
+from repro.perf import RunSpec, run_specs
 from repro.utils.records import ComparisonSummary, FigureResult
 
 #: Representative subset of mixes for the summary average (light, heavy).
@@ -25,6 +24,7 @@ SUMMARY_MIXES = (FIGURE9_MIXES[0], FIGURE9_MIXES[3], FIGURE9_MIXES[7])
 
 def run_figure12(
     scale: Scale | None = None,
+    jobs: int | None = None,
 ) -> tuple[FigureResult, FigureResult, ComparisonSummary]:
     """Run Figure 12; returns (12a performance, 12b energy, ratios)."""
     scale = scale or current_scale()
@@ -40,31 +40,58 @@ def run_figure12(
     )
     analytics_energy_nopf: dict[str, float] = {}
 
-    for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
+    # One pooled batch covering the whole figure: 3 layouts x 3 mixes of
+    # transactions, plus 3 layouts x {pf, no pf} analytics.
+    txn_points = [(layout, mix) for layout in MECHANISMS for mix in SUMMARY_MIXES]
+    query = AnalyticsQuery((0,))
+    anl_points = [
+        (layout, prefetch)
+        for layout in MECHANISMS
+        for prefetch in (True, False)
+    ]
+    specs = [
+        RunSpec(
+            kind="transactions",
+            layout=layout,
+            params={
+                "mix": mix,
+                "num_tuples": scale.db_tuples,
+                "count": scale.db_transactions,
+            },
+            seed=42,
+        )
+        for layout, mix in txn_points
+    ] + [
+        RunSpec(
+            kind="analytics",
+            layout=layout,
+            params={
+                "query": query,
+                "num_tuples": scale.db_tuples,
+                "prefetch": prefetch,
+            },
+        )
+        for layout, prefetch in anl_points
+    ]
+    runs = run_specs(specs, jobs=jobs)
+    txn_runs = dict(zip(txn_points, runs[: len(txn_points)]))
+    anl_runs = dict(zip(anl_points, runs[len(txn_points) :]))
+
+    for name in MECHANISMS:
         cycles = []
         millijoules = []
         for mix in SUMMARY_MIXES:
-            run = run_transactions(
-                layout_cls(), mix,
-                num_tuples=scale.db_tuples, count=scale.db_transactions,
-            )
+            run = txn_runs[(name, mix)]
             if not run.verified:
-                raise WorkloadError(f"txn check failed: {layout_cls.__name__}")
+                raise WorkloadError(f"txn check failed: {name}")
             cycles.append(run.result.cycles)
             millijoules.append(run.result.energy.total_mj)
-        name = layout_cls().name
         perf.add_point(name, "Trans.", sum(cycles) / len(cycles))
         energy.add_point(name, "Trans.", sum(millijoules) / len(millijoules))
 
-    query = AnalyticsQuery((0,))
-    for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
-        name = layout_cls().name
-        run_pf = run_analytics(
-            layout_cls(), query, num_tuples=scale.db_tuples, prefetch=True
-        )
-        run_nopf = run_analytics(
-            layout_cls(), query, num_tuples=scale.db_tuples, prefetch=False
-        )
+    for name in MECHANISMS:
+        run_pf = anl_runs[(name, True)]
+        run_nopf = anl_runs[(name, False)]
         if not (run_pf.verified and run_nopf.verified):
             raise WorkloadError(f"analytics check failed: {name}")
         perf.add_point(name, "Anal.", run_pf.result.cycles)

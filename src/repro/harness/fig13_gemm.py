@@ -15,13 +15,15 @@ see EXPERIMENTS.md.)
 from __future__ import annotations
 
 from repro.errors import WorkloadError
-from repro.gemm.autotune import best_tiled, run_gs, run_naive
+from repro.gemm.autotune import DEFAULT_TILES, GemmRun
 from repro.harness.common import Scale, current_scale
+from repro.perf import RunSpec, run_specs
 from repro.utils.records import ComparisonSummary, FigureResult
 
 
 def run_figure13(
     scale: Scale | None = None,
+    jobs: int | None = None,
 ) -> tuple[FigureResult, ComparisonSummary]:
     """Run the Figure 13 sweep over matrix sizes."""
     scale = scale or current_scale()
@@ -30,11 +32,47 @@ def run_figure13(
         description="GEMM: execution time normalised to the non-tiled baseline",
         x_label="matrix size n",
     )
+    # First pooled batch: the non-tiled baseline and the whole tile
+    # sweep for every n. The GS runs need the best tile per n, so they
+    # form a second (dependent) batch.
+    first: list[tuple[RunSpec, tuple]] = []
+    for n in scale.gemm_sizes:
+        first.append((RunSpec(kind="gemm", params={"variant": "naive", "n": n}),
+                      ("naive", n, None)))
+        for tile in DEFAULT_TILES:
+            if n % tile == 0:
+                first.append(
+                    (RunSpec(kind="gemm",
+                             params={"variant": "tiled", "n": n, "tile": tile}),
+                     ("tiled", n, tile))
+                )
+    first_runs = run_specs([spec for spec, _ in first], jobs=jobs)
+    naive_by_n: dict[int, GemmRun] = {}
+    tiled_by_n: dict[int, list[GemmRun]] = {n: [] for n in scale.gemm_sizes}
+    for (_, (variant, n, _tile)), run in zip(first, first_runs):
+        if variant == "naive":
+            naive_by_n[n] = run
+        else:
+            tiled_by_n[n].append(run)
+
+    best_by_n = {
+        n: min(runs, key=lambda run: run.cycles)
+        for n, runs in tiled_by_n.items()
+    }
+    gs_specs = [
+        RunSpec(kind="gemm",
+                params={"variant": "gs", "n": n,
+                        "tile": best_by_n[n].tile or 8})
+        for n in scale.gemm_sizes
+    ]
+    gs_runs = dict(zip(scale.gemm_sizes, run_specs(gs_specs, jobs=jobs)))
+
     reductions = []
     for n in scale.gemm_sizes:
-        naive = run_naive(n)
-        tiled = best_tiled(n)
-        gs = run_gs(n, tiled.tile or 8)
+        naive = naive_by_n[n]
+        best = best_by_n[n]
+        tiled = GemmRun("Best Tiling", n, best.tile, best.result, best.verified)
+        gs = gs_runs[n]
         for run in (naive, tiled, gs):
             if not run.verified:
                 raise WorkloadError(f"GEMM product wrong: {run.kernel} n={n}")

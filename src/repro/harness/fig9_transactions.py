@@ -9,17 +9,17 @@ degrades with field count, and GS-DRAM matches Row Store — on average
 
 from __future__ import annotations
 
-from repro.db.engine import run_transactions
-from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
 from repro.db.workload import FIGURE9_MIXES, TransactionMix
 from repro.errors import WorkloadError
-from repro.harness.common import Scale, current_scale
+from repro.harness.common import MECHANISMS, Scale, current_scale
+from repro.perf import RunSpec, run_specs
 from repro.utils.records import ComparisonSummary, FigureResult
 
 
 def run_figure9(
     scale: Scale | None = None,
     mixes: tuple[TransactionMix, ...] = FIGURE9_MIXES,
+    jobs: int | None = None,
 ) -> tuple[FigureResult, ComparisonSummary]:
     """Run the full Figure 9 sweep; returns the figure + headline ratios."""
     scale = scale or current_scale()
@@ -31,20 +31,26 @@ def run_figure9(
         ),
         x_label="mix (ro-wo-rw)",
     )
-    for mix in mixes:
-        for layout_cls in (RowStore, ColumnStore, GSDRAMStore):
-            layout = layout_cls()
-            run = run_transactions(
-                layout,
-                mix,
-                num_tuples=scale.db_tuples,
-                count=scale.db_transactions,
+    points = [(mix, layout) for mix in mixes for layout in MECHANISMS]
+    specs = [
+        RunSpec(
+            kind="transactions",
+            layout=layout,
+            params={
+                "mix": mix,
+                "num_tuples": scale.db_tuples,
+                "count": scale.db_transactions,
+            },
+            seed=42,
+        )
+        for mix, layout in points
+    ]
+    for (mix, layout), run in zip(points, run_specs(specs, jobs=jobs)):
+        if not run.verified:
+            raise WorkloadError(
+                f"functional check failed: {layout} mix {mix.label}"
             )
-            if not run.verified:
-                raise WorkloadError(
-                    f"functional check failed: {layout.name} mix {mix.label}"
-                )
-            figure.add_point(layout.name, mix.label, run.result.cycles)
+        figure.add_point(layout, mix.label, run.result.cycles)
 
     summary = ComparisonSummary(figure="Figure 9")
     summary.record(

@@ -11,20 +11,23 @@ artifact evaluation asks for:
   stride prefetcher;
 - **L2 capacity**: the benefit persists from cache-starved to
   cache-rich configurations.
+
+All sweep points are independent simulations and run through the
+:mod:`repro.perf` pool/cache like the figure drivers.
 """
 
 from __future__ import annotations
 
-from repro.db.engine import run_analytics
-from repro.db.layouts import GSDRAMStore, RowStore
 from repro.db.workload import AnalyticsQuery
 from repro.errors import WorkloadError
+from repro.perf import RunSpec, run_specs
 from repro.utils.records import FigureResult
 
 _QUERY = AnalyticsQuery((0,))
 
 
-def sweep_shuffle_stages(num_tuples: int = 4096) -> FigureResult:
+def sweep_shuffle_stages(num_tuples: int = 4096,
+                         jobs: int | None = None) -> FigureResult:
     """Analytics cycles vs shuffle stage count.
 
     With ``s`` stages the largest single-READ stride is ``2^s``; the
@@ -38,16 +41,24 @@ def sweep_shuffle_stages(num_tuples: int = 4096) -> FigureResult:
         description=f"Analytics ({num_tuples} tuples) vs shuffle stages",
         x_label="stages",
     )
-    # Reference: the row store (what stage 0 degenerates to).
-    row = run_analytics(RowStore(), _QUERY, num_tuples=num_tuples)
-    for stages in (1, 2, 3):
-        stride = 1 << stages
-        pattern = stride - 1
-        layout = _PartialGatherStore(pattern)
-        run = run_analytics(
-            layout, _QUERY, num_tuples=num_tuples,
+    stage_values = (1, 2, 3)
+    # Reference: the row store (what stage 0 degenerates to), then one
+    # partial-gather store per stage count.
+    specs = [
+        RunSpec(kind="analytics", layout="Row Store",
+                params={"query": _QUERY, "num_tuples": num_tuples})
+    ] + [
+        RunSpec(
+            kind="analytics",
+            layout=f"partial-gather-{(1 << stages) - 1}",
+            params={"query": _QUERY, "num_tuples": num_tuples},
             config_overrides={"shuffle_stages": stages},
         )
+        for stages in stage_values
+    ]
+    runs = run_specs(specs, jobs=jobs)
+    row = runs[0]
+    for stages, run in zip(stage_values, runs[1:]):
         if not run.verified:
             raise WorkloadError(f"stages={stages}: wrong answer")
         figure.add_point("GS-DRAM", stages, run.result.cycles)
@@ -59,107 +70,69 @@ def sweep_shuffle_stages(num_tuples: int = 4096) -> FigureResult:
     return figure
 
 
-class _PartialGatherStore(GSDRAMStore):
-    """A GS store that scans with a smaller-stride pattern.
-
-    With pattern ``p = 2^s - 1`` (s < 3), one gathered line holds field
-    ``f`` for only ``2^s`` tuples (the other chips return other
-    fields), so a field scan needs ``8 / 2^s`` gathers per 8-tuple
-    group, touching proportionally more lines. The useful positions
-    within each gathered line are computed from the gather geometry —
-    the same mapping knowledge pattern-aware software always needs.
-    """
-
-    def __init__(self, pattern: int) -> None:
-        super().__init__()
-        self._scan_pattern = pattern
-
-    def attach(self, system, num_tuples: int) -> None:
-        if num_tuples % self.schema.num_fields != 0:
-            from repro.errors import WorkloadError as _WE
-
-            raise _WE("tuple count must be a multiple of 8")
-        self.system = system
-        self.num_tuples = num_tuples
-        self.pattern = self._scan_pattern
-        self.base = system.pattmalloc(
-            num_tuples * self.schema.tuple_bytes, shuffle=True,
-            pattern=self._scan_pattern,
-        )
-
-    def analytics_ops(self, query, on_value):
-        import struct
-
-        from repro.core.pattern import gather_spec
-        from repro.cpu.isa import Compute, pattload
-
-        self._require_attached()
-        pattern = self._scan_pattern
-        group = pattern + 1
-        chips = self.schema.num_fields
-        columns_per_row = 128
-        sink = lambda b: on_value(struct.unpack("<Q", b)[0])
-        for field in query.fields:
-            self.schema.validate_field(field)
-            for window in range(0, self.num_tuples, group):
-                # The gathered line holding field `field` of tuples
-                # window..window+group-1 is issued at this column:
-                column = (window - window % group) + (field & pattern)
-                spec = gather_spec(chips, pattern, column % columns_per_row)
-                # Positions whose gathered value is field `field` of a
-                # window tuple (value index == field).
-                positions = [i for i, idx in enumerate(spec.indices)
-                             if idx % chips == field]
-                lead = True
-                for position in positions:
-                    address = self.base + column * 64 + position * 8
-                    pc = (0x7300 if lead else 0x7380) + field
-                    lead = False
-                    yield pattload(address, pattern=pattern, pc=pc,
-                                   on_value=sink)
-                    yield Compute(1)
-
-
 def sweep_prefetch_degree(num_tuples: int = 8192,
-                          degrees: tuple[int, ...] = (0, 2, 4, 8)) -> FigureResult:
+                          degrees: tuple[int, ...] = (0, 2, 4, 8),
+                          jobs: int | None = None) -> FigureResult:
     """Analytics cycles vs prefetch degree, GS-DRAM vs Row Store."""
     figure = FigureResult(
         figure="sweep-prefetch",
         description=f"Analytics ({num_tuples} tuples) vs prefetch degree",
         x_label="degree",
     )
-    for degree in degrees:
-        overrides = {"prefetch_degree": max(degree, 1)}
-        prefetch = degree > 0
-        for layout_cls in (RowStore, GSDRAMStore):
-            run = run_analytics(
-                layout_cls(), _QUERY, num_tuples=num_tuples,
-                prefetch=prefetch, config_overrides=overrides,
-            )
-            if not run.verified:
-                raise WorkloadError("prefetch sweep: wrong answer")
-            figure.add_point(layout_cls().name, degree, run.result.cycles)
+    points = [
+        (degree, layout)
+        for degree in degrees
+        for layout in ("Row Store", "GS-DRAM")
+    ]
+    specs = [
+        RunSpec(
+            kind="analytics",
+            layout=layout,
+            params={
+                "query": _QUERY,
+                "num_tuples": num_tuples,
+                "prefetch": degree > 0,
+            },
+            config_overrides={"prefetch_degree": max(degree, 1)},
+        )
+        for degree, layout in points
+    ]
+    for (degree, layout), run in zip(points, run_specs(specs, jobs=jobs)):
+        if not run.verified:
+            raise WorkloadError("prefetch sweep: wrong answer")
+        figure.add_point(layout, degree, run.result.cycles)
     figure.notes.append("degree 0 disables the prefetcher")
     return figure
 
 
 def sweep_l2_size(num_tuples: int = 8192,
-                  sizes=(64 * 1024, 256 * 1024, 1024 * 1024)) -> FigureResult:
+                  sizes=(64 * 1024, 256 * 1024, 1024 * 1024),
+                  jobs: int | None = None) -> FigureResult:
     """Analytics cycles vs L2 capacity (cold scans: expect flatness)."""
     figure = FigureResult(
         figure="sweep-l2",
         description=f"Analytics ({num_tuples} tuples) vs L2 size",
         x_label="l2_kib",
     )
-    for size in sizes:
-        for layout_cls in (RowStore, GSDRAMStore):
-            run = run_analytics(
-                layout_cls(), _QUERY, num_tuples=num_tuples,
-                prefetch=True, config_overrides={"l2_size": size},
-            )
-            if not run.verified:
-                raise WorkloadError("l2 sweep: wrong answer")
-            figure.add_point(layout_cls().name, size // 1024, run.result.cycles)
+    points = [
+        (size, layout)
+        for size in sizes
+        for layout in ("Row Store", "GS-DRAM")
+    ]
+    specs = [
+        RunSpec(
+            kind="analytics",
+            layout=layout,
+            params={"query": _QUERY, "num_tuples": num_tuples,
+                    "prefetch": True},
+            config_overrides={"l2_size": size},
+        )
+        for size, layout in points
+    ]
+    for (size, layout), run in zip(points, run_specs(specs, jobs=jobs)):
+        if not run.verified:
+            raise WorkloadError("l2 sweep: wrong answer")
+        figure.add_point(layout, size // 1024, run.result.cycles)
     figure.notes.append(
         "a cold single-pass scan is capacity-insensitive; the GS gap is "
         "a bandwidth property, not a cache-size artifact"

@@ -25,6 +25,11 @@ from repro.mem.schedulers import FRFCFS, Scheduler
 from repro.utils.events import Engine
 from repro.utils.statistics import Histogram, StatGroup
 
+#: Pre-rendered per-kind stat names; ``submit`` is called once per
+#: memory request and must not re-format strings on the hot path.
+_KIND_STAT = {kind: f"requests_{kind.value}" for kind in RequestKind}
+_CMD_STAT = {kind: f"cmd_{kind.value}" for kind in CommandKind}
+
 
 class MemoryController:
     """Queues, schedules, and times requests against one DRAM module."""
@@ -42,6 +47,11 @@ class MemoryController:
         self.engine = engine
         self.module = module
         self.scheduler = scheduler or FRFCFS()
+        # A scheduler passed explicitly may carry arbitration state from
+        # a previous run (e.g. FR-FCFS starvation streaks); a controller
+        # must start from a clean slate or back-to-back simulations with
+        # the same scheduler instance are not deterministic.
+        self.scheduler.reset()
         self.shuffle_latency = shuffle_latency if module.supports_patterns else 0
         self.refresh_enabled = refresh_enabled
         self.trace_commands = trace_commands
@@ -75,7 +85,7 @@ class MemoryController:
         )
         request.phase = Phase.QUEUED
         self.stats.add("requests")
-        self.stats.add(f"requests_{request.kind.value}")
+        self.stats.add(_KIND_STAT[request.kind])
         if request.pattern:
             self.stats.add("requests_patterned")
         bank_id = request.location.bank
@@ -296,7 +306,7 @@ class MemoryController:
         self._cmd_free = now + self.module.cpu_per_bus
 
     def _record_command(self, command: Command) -> None:
-        self.stats.add(f"cmd_{command.kind.value}")
+        self.stats.add(_CMD_STAT[command.kind])
         if self.trace_commands:
             self.command_trace.append((self.engine.now, command))
 

@@ -34,7 +34,7 @@ class Phase(enum.Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One cache-line request to the DRAM module.
 
@@ -42,6 +42,10 @@ class MemoryRequest:
     (Section 4.2): the pattern ID rides with the column command, the
     shuffle flag comes from the page table. ``pc`` feeds the stride
     prefetcher; ``core_id`` attributes stats and completions.
+
+    Slotted: simulations allocate one of these per memory operation,
+    and ``__slots__`` keeps them dict-free (ad-hoc metadata belongs in
+    ``annotations``).
     """
 
     address: int

@@ -11,7 +11,7 @@ is pluggable and an FCFS baseline is provided for the ablation.
 from __future__ import annotations
 
 from repro.dram.bank import Bank
-from repro.mem.request import MemoryRequest
+from repro.mem.request import MemoryRequest, RequestKind
 
 
 class Scheduler:
@@ -22,6 +22,16 @@ class Scheduler:
     def choose(self, candidates: list[MemoryRequest], bank: Bank) -> MemoryRequest:
         """Pick one of ``candidates`` (all target ``bank``; non-empty)."""
         raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop any per-run arbitration state.
+
+        Called by a controller when it attaches, so a scheduler
+        instance passed explicitly (or reused across back-to-back
+        simulations) starts every run from the same state — otherwise
+        two identical runs can schedule differently and determinism is
+        lost.
+        """
 
 
 class FCFS(Scheduler):
@@ -46,25 +56,44 @@ class FRFCFS(Scheduler):
 
     def __init__(self, starvation_limit: int = 0) -> None:
         self.starvation_limit = starvation_limit
-        self._consecutive_hits: dict[int, int] = {}
+        # Keyed by the Bank object (not bank_id): two controllers'
+        # same-numbered banks must not share a starvation streak.
+        self._consecutive_hits: dict[Bank, int] = {}
+
+    def reset(self) -> None:
+        self._consecutive_hits.clear()
 
     def choose(self, candidates: list[MemoryRequest], bank: Bank) -> MemoryRequest:
-        def is_hit(request: MemoryRequest) -> bool:
-            assert request.location is not None
-            return bank.is_open(request.location.row)
-
-        hits = [r for r in candidates if is_hit(r)]
-        misses = [r for r in candidates if not is_hit(r)]
-        streak = self._consecutive_hits.get(bank.bank_id, 0)
+        # Single pass (this is the controller's hottest loop): track the
+        # best hit and best miss by key instead of building pool lists.
+        # Key order encodes the policy: reads before writes, demand
+        # before prefetch, then age; request_id makes ties impossible.
+        open_row = bank.open_row
+        best_hit = best_miss = None
+        best_hit_key = best_miss_key = None
+        for request in candidates:
+            location = request.location
+            assert location is not None
+            key = (
+                request.kind.is_write,
+                request.kind is RequestKind.PREFETCH,
+                request.arrival_time,
+                request.request_id,
+            )
+            if location.row == open_row:
+                if best_hit is None or key < best_hit_key:
+                    best_hit, best_hit_key = request, key
+            else:
+                if best_miss is None or key < best_miss_key:
+                    best_miss, best_miss_key = request, key
+        streak = self._consecutive_hits.get(bank, 0)
         capped = (
             self.starvation_limit > 0
             and streak >= self.starvation_limit
-            and misses
+            and best_miss is not None
         )
-        pool = misses if (capped or not hits) else hits
-        chosen = min(pool, key=lambda r: (r.is_write, r.arrival_time, r.request_id))
-        if hits and chosen in hits:
-            self._consecutive_hits[bank.bank_id] = streak + 1
-        else:
-            self._consecutive_hits[bank.bank_id] = 0
-        return chosen
+        if capped or best_hit is None:
+            self._consecutive_hits[bank] = 0
+            return best_miss
+        self._consecutive_hits[bank] = streak + 1
+        return best_hit

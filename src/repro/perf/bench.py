@@ -1,0 +1,346 @@
+"""Perf baseline tooling: ``python -m repro bench``.
+
+Times a fixed set of tier-1 workloads (one case per figure family),
+cold and warm through the result cache, and writes a
+``BENCH_<date>.json`` baseline with wall-clock, simulated events/sec,
+cache hit rate, and per-component cycle attribution. When a previous
+baseline from the *same machine* exists in the results directory, the
+new run is compared against it and the command fails on a total
+wall-clock regression beyond ``--threshold`` (default 15%) — CI keeps
+the perf trajectory honest, developers get a one-command answer to
+"did I just make the simulator slower?".
+
+Cross-machine baselines are reported but not enforced (absolute
+wall-clock is not comparable across hosts); set
+``REPRO_BENCH_STRICT=1`` to enforce anyway.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import platform
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.perf.cache import ResultCache, code_version
+from repro.perf.pool import resolve_jobs, run_specs
+from repro.perf.specs import RunSpec
+
+DEFAULT_RESULTS_DIR = pathlib.Path("benchmarks/results")
+DEFAULT_THRESHOLD = 0.15
+
+
+@dataclass
+class BenchCase:
+    """One timed workload: either a spec batch or a plain callable."""
+
+    name: str
+    specs: list[RunSpec] = field(default_factory=list)
+    func: Callable[[], Any] | None = None
+
+
+def bench_cases(scale) -> list[BenchCase]:
+    """The bench suite: one representative case per figure family."""
+    from repro.db.workload import FIGURE9_MIXES
+    from repro.harness.fig7_patterns import render_figure7
+
+    layouts = ("Row Store", "Column Store", "GS-DRAM")
+    mix = FIGURE9_MIXES[3]
+    cases = [
+        BenchCase("fig7-patterns", func=render_figure7),
+        BenchCase(
+            "fig9-transactions",
+            specs=[
+                RunSpec(
+                    kind="transactions",
+                    layout=layout,
+                    params={
+                        "mix": mix,
+                        "num_tuples": scale.db_tuples,
+                        "count": scale.db_transactions,
+                    },
+                    seed=42,
+                )
+                for layout in layouts
+            ],
+        ),
+        BenchCase(
+            "fig10-analytics",
+            specs=[
+                RunSpec(
+                    kind="analytics",
+                    layout=layout,
+                    params={
+                        "query": (0,),
+                        "num_tuples": scale.db_tuples,
+                        "prefetch": True,
+                    },
+                )
+                for layout in layouts
+            ],
+        ),
+        BenchCase(
+            "fig11-htap",
+            specs=[
+                RunSpec(
+                    kind="htap",
+                    layout=layout,
+                    params={"num_tuples": scale.htap_tuples},
+                    config_overrides={"l2_size": scale.htap_l2_size},
+                )
+                for layout in ("Row Store", "GS-DRAM")
+            ],
+        ),
+        BenchCase(
+            "fig13-gemm",
+            specs=[
+                RunSpec(
+                    kind="gemm",
+                    params={"variant": variant, "n": scale.gemm_sizes[0],
+                            **extra},
+                    seed=3,
+                )
+                for variant, extra in (
+                    ("naive", {}),
+                    ("tiled", {"tile": 8}),
+                    ("gs", {"tile": 8}),
+                )
+            ],
+        ),
+    ]
+    return cases
+
+
+def _run_results(records: list[Any]):
+    """The RunResults hiding inside heterogeneous run records."""
+    for record in records:
+        result = getattr(record, "result", None)
+        if result is not None and hasattr(result, "cycles"):
+            yield result
+
+
+def _attribution(records: list[Any]) -> dict[str, float]:
+    """Per-component cycle/traffic attribution for one case."""
+    out = {
+        "cycles": 0.0,
+        "instructions": 0.0,
+        "engine_events": 0.0,
+        "dram_reads": 0.0,
+        "dram_writes": 0.0,
+        "row_hits": 0.0,
+        "row_misses": 0.0,
+        "l1_misses": 0.0,
+        "l2_misses": 0.0,
+        "mean_memory_queue_delay": 0.0,
+    }
+    runs = 0
+    for result in _run_results(records):
+        runs += 1
+        out["cycles"] += result.cycles
+        out["instructions"] += result.instructions
+        out["engine_events"] += result.extra.get("engine_events", 0.0)
+        out["dram_reads"] += result.dram_reads
+        out["dram_writes"] += result.dram_writes
+        out["row_hits"] += result.row_hits
+        out["row_misses"] += result.row_misses
+        out["l1_misses"] += result.l1_misses
+        out["l2_misses"] += result.l2_misses
+        out["mean_memory_queue_delay"] += result.extra.get(
+            "mean_memory_queue_delay", 0.0
+        )
+    if runs:
+        out["mean_memory_queue_delay"] /= runs
+    return out
+
+
+def machine_fingerprint() -> dict[str, str]:
+    return {
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def latest_baseline(results_dir: pathlib.Path) -> pathlib.Path | None:
+    """The newest committed ``BENCH_*.json``, if any."""
+    candidates = sorted(results_dir.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def compare_to_baseline(
+    payload: dict, baseline: dict, threshold: float, strict: bool
+) -> dict:
+    """Regression verdict: new total wall vs the baseline's."""
+    old_total = baseline.get("totals", {}).get("wall_s")
+    new_total = payload["totals"]["wall_s"]
+    verdict: dict[str, Any] = {
+        "baseline_timestamp": baseline.get("timestamp"),
+        "baseline_wall_s": old_total,
+        "wall_s": new_total,
+        "threshold": threshold,
+    }
+    same_machine = baseline.get("machine") == payload["machine"]
+    if old_total is None:
+        verdict["status"] = "no-baseline-total"
+        return verdict
+    if not same_machine and not strict:
+        verdict["status"] = "skipped-different-machine"
+        return verdict
+    ratio = new_total / old_total if old_total else float("inf")
+    verdict["ratio"] = ratio
+    verdict["status"] = "regression" if ratio > 1.0 + threshold else "ok"
+    return verdict
+
+
+def run_bench(
+    scale_name: str = "quick",
+    jobs: int | None = None,
+    results_dir: str | os.PathLike = DEFAULT_RESULTS_DIR,
+    threshold: float = DEFAULT_THRESHOLD,
+    cache_dir: str | os.PathLike | None = None,
+    check_regression: bool = True,
+    write: bool = True,
+) -> tuple[dict, int]:
+    """Run the bench suite; returns (payload, exit_code)."""
+    from repro.harness.common import scale_by_name
+
+    scale = scale_by_name(scale_name)
+    jobs = resolve_jobs(jobs)
+    results_dir = pathlib.Path(results_dir)
+
+    # A fresh cache per bench run: the cold pass measures real
+    # simulation speed, the warm pass measures the cache itself.
+    scratch = None
+    if cache_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = scratch.name
+    cache = ResultCache(cache_dir)
+
+    cases_out = []
+    total_wall = 0.0
+    total_events = 0.0
+    try:
+        for case in bench_cases(scale):
+            if case.func is not None:
+                start = time.perf_counter()
+                value = case.func()
+                cold_wall = time.perf_counter() - start
+                cache.put(f"bench-figure:{case.name}", value)
+                start = time.perf_counter()
+                cache.get(f"bench-figure:{case.name}")
+                warm_wall = time.perf_counter() - start
+                records: list[Any] = []
+            else:
+                start = time.perf_counter()
+                records = run_specs(case.specs, jobs=jobs, cache=cache)
+                cold_wall = time.perf_counter() - start
+                start = time.perf_counter()
+                run_specs(case.specs, jobs=jobs, cache=cache)
+                warm_wall = time.perf_counter() - start
+            attribution = _attribution(records)
+            events = attribution["engine_events"]
+            total_wall += cold_wall
+            total_events += events
+            cases_out.append(
+                {
+                    "name": case.name,
+                    "runs": len(case.specs) or 1,
+                    "wall_s": cold_wall,
+                    "warm_wall_s": warm_wall,
+                    "warm_speedup": cold_wall / warm_wall if warm_wall else None,
+                    "events": events,
+                    "events_per_s": events / cold_wall if cold_wall else 0.0,
+                    "attribution": attribution,
+                }
+            )
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+    payload = {
+        "schema": 1,
+        "timestamp": datetime.datetime.now().isoformat(timespec="seconds"),
+        "scale": scale.name,
+        "jobs": jobs,
+        "machine": machine_fingerprint(),
+        "code_version": code_version(),
+        "cases": cases_out,
+        "cache": dict(cache.stats, hit_rate=cache.hit_rate),
+        "totals": {
+            "wall_s": total_wall,
+            "events": total_events,
+            "events_per_s": total_events / total_wall if total_wall else 0.0,
+        },
+    }
+
+    exit_code = 0
+    if check_regression:
+        baseline_path = latest_baseline(results_dir)
+        if baseline_path is not None:
+            try:
+                baseline = json.loads(baseline_path.read_text())
+            except (OSError, ValueError):
+                baseline = {}
+            strict = os.environ.get("REPRO_BENCH_STRICT", "") == "1"
+            verdict = compare_to_baseline(payload, baseline, threshold, strict)
+            verdict["baseline_file"] = baseline_path.name
+            payload["regression_check"] = verdict
+            if verdict["status"] == "regression":
+                exit_code = 1
+
+    if write:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        stamp = datetime.datetime.now().strftime("%Y%m%d-%H%M%S")
+        out_path = results_dir / f"BENCH_{stamp}.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        payload["output_file"] = str(out_path)
+
+    return payload, exit_code
+
+
+def render_summary(payload: dict) -> str:
+    lines = [
+        f"bench @ scale={payload['scale']} jobs={payload['jobs']} "
+        f"({payload['machine']['hostname']}, py{payload['machine']['python']})"
+    ]
+    for case in payload["cases"]:
+        line = f"  {case['name']:<18} {case['wall_s']:8.3f}s cold"
+        if case["warm_speedup"]:
+            line += (
+                f"  {case['warm_wall_s']:8.4f}s warm"
+                f" ({case['warm_speedup']:6.1f}x)"
+            )
+        if case["events"]:
+            line += f"  {case['events_per_s']:>12,.0f} events/s"
+        lines.append(line)
+    totals = payload["totals"]
+    lines.append(
+        f"  total: {totals['wall_s']:.3f}s, "
+        f"{totals['events_per_s']:,.0f} events/s, "
+        f"cache hit rate {payload['cache']['hit_rate']:.0%}"
+    )
+    verdict = payload.get("regression_check")
+    if verdict:
+        status = verdict["status"]
+        if status == "regression":
+            lines.append(
+                f"  REGRESSION vs {verdict['baseline_file']}: "
+                f"{verdict['ratio']:.2f}x total wall-clock "
+                f"(threshold {1 + verdict['threshold']:.2f}x)"
+            )
+        elif status == "ok":
+            lines.append(
+                f"  vs {verdict['baseline_file']}: {verdict['ratio']:.2f}x "
+                f"(within {1 + verdict['threshold']:.2f}x) -- OK"
+            )
+        else:
+            lines.append(f"  baseline comparison: {status}")
+    if "output_file" in payload:
+        lines.append(f"  wrote {payload['output_file']}")
+    return "\n".join(lines)

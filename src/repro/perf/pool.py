@@ -1,0 +1,147 @@
+"""Process-pool experiment runner with deterministic ordering.
+
+:func:`run_specs` is the one entry point the harnesses use: give it a
+list of :class:`~repro.perf.specs.RunSpec` and it returns the matching
+run records *in input order*, regardless of which worker finished
+first. Already-cached specs never reach a worker; fresh results are
+written back to the cache.
+
+Failure policy: exceptions raised *by the workload itself*
+(:class:`repro.errors.ReproError` subclasses) propagate unchanged —
+the run would fail serially too, and the harness's verification logic
+is the right place to handle it. Infrastructure failures (a worker
+killed by the OS, a timeout, a broken pool) are retried and finally
+re-executed serially in-process, so a flaky pool degrades to the old
+serial behaviour instead of losing the experiment.
+
+``REPRO_JOBS`` sets the default worker count (1 = serial, the
+default: most CI boxes and the figure harnesses' small grids don't
+amortise pool startup). ``REPRO_RUN_TIMEOUT`` caps seconds per run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+from repro.perf.cache import ResultCache, default_cache
+from repro.perf.specs import RunSpec, cache_key, execute_spec
+
+#: Sentinel distinguishing "no cache argument" from "explicitly None".
+_DEFAULT = object()
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ReproError(f"REPRO_JOBS={env!r} is not an integer") from None
+    return 1
+
+
+def _resolve_timeout(timeout: float | None) -> float | None:
+    if timeout is not None:
+        return timeout
+    env = os.environ.get("REPRO_RUN_TIMEOUT", "")
+    return float(env) if env else None
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: int | None = None,
+    cache: ResultCache | None | object = _DEFAULT,
+    timeout: float | None = None,
+    retries: int = 1,
+) -> list[Any]:
+    """Execute every spec; returns results in the order given.
+
+    ``cache=None`` disables caching for this call; by default the
+    process-wide cache (:func:`repro.perf.cache.default_cache`) is
+    consulted first and populated afterwards.
+    """
+    if cache is _DEFAULT:
+        cache = default_cache()
+    jobs = resolve_jobs(jobs)
+    timeout = _resolve_timeout(timeout)
+
+    results: list[Any] = [None] * len(specs)
+    keys: list[str | None] = [None] * len(specs)
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            keys[index] = cache_key(spec)
+            hit = cache.get(keys[index])
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+
+    if not pending:
+        return results
+
+    if jobs <= 1 or len(pending) == 1:
+        for index in pending:
+            results[index] = execute_spec(specs[index])
+            if cache is not None:
+                cache.put(keys[index], results[index])
+        return results
+
+    remaining = list(pending)
+    for _attempt in range(max(0, retries) + 1):
+        if not remaining:
+            break
+        remaining = _run_pooled(specs, results, remaining, jobs, timeout)
+
+    # Graceful fallback: whatever the pool could not deliver runs
+    # serially in this process.
+    for index in remaining:
+        results[index] = execute_spec(specs[index])
+
+    if cache is not None:
+        for index in pending:
+            cache.put(keys[index], results[index])
+    return results
+
+
+def _run_pooled(
+    specs: Sequence[RunSpec],
+    results: list[Any],
+    indices: list[int],
+    jobs: int,
+    timeout: float | None,
+) -> list[int]:
+    """One pool pass; returns the indices that still need running."""
+    failed: list[int] = []
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(indices)))
+    except OSError:
+        return indices
+    try:
+        futures = {index: executor.submit(execute_spec, specs[index])
+                   for index in indices}
+        for index, future in futures.items():
+            try:
+                results[index] = future.result(timeout=timeout)
+            except ReproError:
+                raise  # deterministic workload failure: not the pool's fault
+            except FutureTimeout:
+                future.cancel()
+                failed.append(index)
+            except BrokenProcessPool:
+                failed.extend(i for i in futures if results[i] is None
+                              and i not in failed)
+                break
+            except Exception:
+                # Pickling errors, workers killed mid-run, etc.
+                failed.append(index)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return failed

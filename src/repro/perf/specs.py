@@ -1,0 +1,142 @@
+"""Declarative, picklable descriptions of single simulation runs.
+
+The figure harnesses drive their workloads through generator closures,
+which cannot cross a process boundary. A :class:`RunSpec` is the
+process-safe alternative: a flat description (kind + layout + params +
+config overrides + seed) that a worker rehydrates with
+:func:`execute_spec` into the exact same driver call the serial
+harness would have made. The same canonical form doubles as the cache
+key (:func:`cache_key`), so pooled and cached execution agree on what
+"the same run" means.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class RunSpec:
+    """One independent simulation run, by value.
+
+    ``kind`` selects the driver (``transactions`` / ``analytics`` /
+    ``htap`` / ``gemm``), ``layout`` names a storage layout from
+    :func:`make_layout`, ``params`` are the driver's keyword arguments,
+    and ``seed`` pins the workload generator.
+    """
+
+    kind: str
+    layout: str | None = None
+    params: dict = field(default_factory=dict)
+    config_overrides: dict = field(default_factory=dict)
+    seed: int | None = None
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-able, deterministic form of ``value`` for hashing."""
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [type(value).__name__, _canonical(dataclasses.asdict(value))]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigError(f"cannot canonicalise {type(value).__name__} for caching")
+
+
+def cache_key(spec: RunSpec) -> str:
+    """A stable string identifying ``spec`` (code version is added by
+    the cache layer)."""
+    return json.dumps(_canonical(dataclasses.asdict(spec)), sort_keys=True)
+
+
+def make_layout(name: str):
+    """Instantiate a storage layout by registry name.
+
+    ``partial-gather-<p>`` builds the reduced-stride GS store used by
+    the shuffle-stage sweep.
+    """
+    from repro.db.layouts import (
+        ColumnStore,
+        GSDRAMStore,
+        PartialGatherStore,
+        RowStore,
+    )
+
+    registry = {
+        RowStore.name: RowStore,
+        ColumnStore.name: ColumnStore,
+        GSDRAMStore.name: GSDRAMStore,
+    }
+    if name in registry:
+        return registry[name]()
+    if name.startswith("partial-gather-"):
+        return PartialGatherStore(int(name.rsplit("-", 1)[1]))
+    raise ConfigError(f"unknown layout {name!r}")
+
+
+def execute_spec(spec: RunSpec) -> Any:
+    """Run one spec to completion; returns the driver's run record.
+
+    This is the function process-pool workers call, so everything it
+    touches must be importable from a bare interpreter and everything
+    it returns must pickle.
+    """
+    from repro.db.engine import run_analytics, run_htap, run_transactions
+    from repro.db.workload import AnalyticsQuery, TransactionMix
+
+    params = dict(spec.params)
+    if spec.kind == "transactions":
+        mix = params.pop("mix")
+        if not isinstance(mix, TransactionMix):
+            mix = TransactionMix(*mix)
+        if spec.seed is not None:
+            params.setdefault("seed", spec.seed)
+        return run_transactions(
+            make_layout(spec.layout),
+            mix,
+            config_overrides=dict(spec.config_overrides),
+            **params,
+        )
+    if spec.kind == "analytics":
+        query = params.pop("query")
+        if not isinstance(query, AnalyticsQuery):
+            query = AnalyticsQuery(tuple(query))
+        return run_analytics(
+            make_layout(spec.layout),
+            query,
+            config_overrides=dict(spec.config_overrides),
+            **params,
+        )
+    if spec.kind == "htap":
+        return run_htap(
+            make_layout(spec.layout),
+            config_overrides=dict(spec.config_overrides),
+            **params,
+        )
+    if spec.kind == "gemm":
+        from repro.gemm.autotune import run_gs, run_naive, run_tiled
+
+        variant = params.pop("variant")
+        overrides = dict(spec.config_overrides) or None
+        if spec.seed is not None:
+            params.setdefault("seed", spec.seed)
+        if variant == "naive":
+            return run_naive(overrides=overrides, **params)
+        if variant == "tiled":
+            return run_tiled(overrides=overrides, **params)
+        if variant == "gs":
+            return run_gs(overrides=overrides, **params)
+        raise ConfigError(f"unknown gemm variant {variant!r}")
+    raise ConfigError(f"unknown run kind {spec.kind!r}")

@@ -256,6 +256,7 @@ class System:
             cpu_ghz=self.config.cpu_ghz,
         )
         extra = {
+            "engine_events": float(self.engine.events_processed),
             "mean_memory_queue_delay": self.controller.queue_delay.mean,
             "auto_gathers": float(
                 sum(c.stats.get("auto_gathers") for c in self.cores)

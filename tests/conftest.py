@@ -6,6 +6,10 @@ import os
 
 import pytest
 
+# Hermetic runs: never serve a test from the on-disk result cache (the
+# perf tests build their own caches in tmp dirs and override this).
+os.environ["REPRO_CACHE"] = "0"
+
 try:
     from hypothesis import settings
 except ImportError:  # hypothesis is an optional dev dependency

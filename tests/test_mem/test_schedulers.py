@@ -70,3 +70,97 @@ class TestFRFCFS:
         for _ in range(50):
             hit = request(8192, arrival=100)
             assert scheduler.choose([miss, hit], bank) is hit
+
+    def test_demand_miss_beats_older_prefetch_miss(self):
+        """Prefetches must never starve demand requests (regression).
+
+        The old sort key ignored PREFETCH kind entirely, so an older
+        speculative prefetch outranked the demand miss the core was
+        actually stalled on.
+        """
+        bank = Bank(0, TIMING)  # nothing open: both are misses
+        prefetch = request(0, arrival=5, kind=RequestKind.PREFETCH)
+        demand = request(8192, arrival=10, kind=RequestKind.READ)
+        assert FRFCFS().choose([prefetch, demand], bank) is demand
+
+    def test_demand_hit_beats_older_prefetch_hit(self):
+        bank = Bank(0, TIMING)
+        bank.issue_activate(0, now=0)
+        prefetch = request(0, arrival=5, kind=RequestKind.PREFETCH)
+        demand = request(64, arrival=10, kind=RequestKind.READ)
+        assert FRFCFS().choose([prefetch, demand], bank) is demand
+
+    def test_row_hit_still_beats_demand_miss(self):
+        """Precedence is hit/miss first, demand/prefetch second."""
+        bank = Bank(0, TIMING)
+        bank.issue_activate(0, now=0)
+        prefetch_hit = request(0, arrival=5, kind=RequestKind.PREFETCH)
+        demand_miss = request(8192, arrival=10, kind=RequestKind.READ)
+        assert FRFCFS().choose([prefetch_hit, demand_miss], bank) \
+            is prefetch_hit
+
+    def test_prefetch_yields_within_hit_pool_under_starvation_cap(self):
+        """With the cap reached, a demand miss preempts even a
+        prefetch hit streak."""
+        scheduler = FRFCFS(starvation_limit=1)
+        bank = Bank(0, TIMING)
+        bank.issue_activate(1, now=0)
+        miss = request(0, arrival=0)
+        hit = request(8192, arrival=100, kind=RequestKind.PREFETCH)
+        assert scheduler.choose([miss, hit], bank) is hit
+        assert scheduler.choose([miss, hit], bank) is miss
+
+
+class TestSchedulerReset:
+    def test_reset_clears_hit_streak(self):
+        scheduler = FRFCFS(starvation_limit=2)
+        bank = Bank(0, TIMING)
+        bank.issue_activate(1, now=0)
+        miss = request(0, arrival=0)
+        hit = request(8192, arrival=100)
+        assert scheduler.choose([miss, hit], bank) is hit
+        assert scheduler.choose([miss, hit], bank) is hit
+        scheduler.reset()
+        # A fresh streak: the hit wins again instead of tripping the cap.
+        assert scheduler.choose([miss, hit], bank) is hit
+
+    def test_controller_attach_resets_scheduler_state(self):
+        """A scheduler instance reused across controllers must not
+        leak hit-streak state from the previous simulation (regression:
+        ``_consecutive_hits`` was keyed by bank id and never cleared, so
+        run N+1's scheduling depended on run N's history)."""
+        from repro.core.module import GSModule
+        from repro.dram.address import Geometry
+        from repro.mem.controller import MemoryController
+        from repro.utils.events import Engine
+
+        scheduler = FRFCFS(starvation_limit=2)
+        bank = Bank(0, TIMING)
+        bank.issue_activate(1, now=0)
+        miss = request(0, arrival=0)
+        hit = request(8192, arrival=100)
+        assert scheduler.choose([miss, hit], bank) is hit
+        assert scheduler.choose([miss, hit], bank) is hit
+        # Attaching to a (new) controller is the moment a simulation
+        # starts; it must behave like a factory-fresh scheduler.
+        module = GSModule(
+            geometry=Geometry(banks=4, rows_per_bank=16, columns_per_row=32)
+        )
+        MemoryController(Engine(), module, scheduler=scheduler)
+        assert scheduler.choose([miss, hit], bank) is hit
+
+    def test_two_runs_identical_with_shared_scheduler(self):
+        """Determinism end-to-end: one scheduler object driving two
+        back-to-back simulations must give bit-identical results."""
+        from repro.perf import RunSpec, execute_spec
+
+        spec = RunSpec(
+            kind="analytics",
+            layout="GS-DRAM",
+            params={"query": (0,), "num_tuples": 256},
+        )
+        assert execute_spec(spec) == execute_spec(spec)
+
+    def test_base_scheduler_reset_is_noop(self):
+        scheduler = FCFS()
+        scheduler.reset()  # must exist and not raise

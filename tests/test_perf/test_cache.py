@@ -1,0 +1,112 @@
+"""The on-disk result cache: hits, misses, invalidation, poisoning.
+
+Correctness battery for the one component that could silently turn a
+reproduction into a replay of stale results: every claim the cache
+module makes (digest verification, version invalidation, atomic
+writes) gets a direct test, including the mutation-style check that a
+corrupted entry is *detected*, not served.
+"""
+
+import pickle
+
+import pytest
+
+from repro.perf.cache import ResultCache, code_version, default_cache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        assert cache.get("key") is None
+        cache.put("key", {"cycles": 123})
+        assert cache.get("key") == {"cycles": 123}
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1,
+                               "poisoned": 0}
+        assert cache.hit_rate == 0.5
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        assert cache.get("b") == 2
+
+    def test_version_change_invalidates(self, tmp_path):
+        """A new code version must never see the old version's entries."""
+        old = ResultCache(tmp_path, version="v1")
+        old.put("key", "stale")
+        new = ResultCache(tmp_path, version="v2")
+        assert new.get("key") is None
+        # And the old version still sees its own entry untouched.
+        assert old.get("key") == "stale"
+
+    def test_poisoned_entry_detected(self, tmp_path):
+        """Flipping one payload byte must read as a miss, not bad data."""
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("key", [1, 2, 3])
+        path = cache.path_for("key")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert cache.get("key") is None
+        assert cache.stats["poisoned"] == 1
+
+    def test_truncated_entry_detected(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("key", "value")
+        path = cache.path_for("key")
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("key") is None
+        assert cache.stats["poisoned"] == 1
+
+    def test_digest_forged_but_payload_unpicklable(self, tmp_path):
+        """A well-digested entry that is not a pickle is still a miss."""
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("key", "value")
+        path = cache.path_for("key")
+        import hashlib
+
+        payload = b"not a pickle"
+        digest = hashlib.sha256(payload).hexdigest().encode()
+        path.write_bytes(digest + b"\n" + payload)
+        assert cache.get("key") is None
+        assert cache.stats["poisoned"] == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert cache.get("a") is None
+
+    def test_roundtrips_arbitrary_picklables(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        value = {"nested": [(1, 2), {"x": b"bytes"}]}
+        cache.put("key", value)
+        assert cache.get("key") == value
+        assert pickle.dumps(cache.get("key"))  # still picklable
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+    def test_is_hex_sha256(self):
+        version = code_version()
+        assert len(version) == 64
+        int(version, 16)
+
+
+class TestDefaultCache:
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert default_cache() is None
+
+    def test_env_dir_respected(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cachedir"))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.root == tmp_path / "cachedir"
+        cache.put("key", 7)
+        assert (tmp_path / "cachedir").is_dir()

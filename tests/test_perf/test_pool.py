@@ -1,0 +1,139 @@
+"""The process-pool runner: parallel == serial, ordering, fallback.
+
+The acceptance bar for parallel execution in a reproduction is strict:
+the pooled run must produce *identical* run records to the serial run,
+in the same order, for every mechanism — otherwise "faster" silently
+means "different experiment".
+"""
+
+import pytest
+
+from repro import errors
+from repro.perf import ResultCache, RunSpec, resolve_jobs, run_specs
+from repro.perf import pool as pool_module
+
+MECHANISMS = ("Row Store", "Column Store", "GS-DRAM")
+
+
+def _analytics_specs(num_tuples=256):
+    return [
+        RunSpec(kind="analytics", layout=layout,
+                params={"query": (0,), "num_tuples": num_tuples})
+        for layout in MECHANISMS
+    ]
+
+
+class TestParallelEqualsSerial:
+    def test_identical_records_across_mechanisms(self):
+        """jobs=2 and jobs=1 must agree bit-for-bit, in input order."""
+        specs = _analytics_specs()
+        serial = run_specs(specs, jobs=1, cache=None)
+        pooled = run_specs(specs, jobs=2, cache=None)
+        assert serial == pooled
+        # Deterministic ordering: record i matches spec i's layout.
+        for spec, record in zip(specs, pooled):
+            assert record.layout == spec.layout
+            assert record.verified
+
+    def test_transactions_parallel_equals_serial(self):
+        from repro.db.workload import FIGURE9_MIXES
+
+        specs = [
+            RunSpec(kind="transactions", layout=layout,
+                    params={"mix": FIGURE9_MIXES[0], "num_tuples": 256,
+                            "count": 20},
+                    seed=42)
+            for layout in MECHANISMS
+        ]
+        assert run_specs(specs, jobs=1, cache=None) == \
+            run_specs(specs, jobs=2, cache=None)
+
+
+class TestCacheIntegration:
+    def test_second_call_is_served_from_cache(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path, version="v1")
+        specs = _analytics_specs()
+        first = run_specs(specs, jobs=1, cache=cache)
+        assert cache.stats["stores"] == len(specs)
+
+        def boom(spec):
+            raise AssertionError("cache should have satisfied every spec")
+
+        monkeypatch.setattr(pool_module, "execute_spec", boom)
+        second = run_specs(specs, jobs=1, cache=cache)
+        assert second == first
+        assert cache.stats["hits"] == len(specs)
+
+    def test_partial_hits_only_run_the_misses(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        specs = _analytics_specs()
+        run_specs(specs[:1], jobs=1, cache=cache)
+        run_specs(specs, jobs=1, cache=cache)
+        # One spec was already cached, so only two fresh stores.
+        assert cache.stats["stores"] == 3
+        assert cache.stats["hits"] == 1
+
+
+class TestFailurePolicy:
+    def test_workload_error_propagates_serially(self):
+        bad = RunSpec(kind="analytics", layout="No Such Store",
+                      params={"query": (0,), "num_tuples": 256})
+        with pytest.raises(errors.ConfigError):
+            run_specs([bad], jobs=1, cache=None)
+
+    def test_workload_error_propagates_from_pool(self):
+        bad = RunSpec(kind="analytics", layout="No Such Store",
+                      params={"query": (0,), "num_tuples": 256})
+        specs = _analytics_specs()[:1] + [bad]
+        with pytest.raises(errors.ConfigError):
+            run_specs(specs, jobs=2, cache=None)
+
+    def test_serial_fallback_when_pool_dies(self, monkeypatch):
+        """A pool that delivers nothing degrades to serial, not to loss."""
+        monkeypatch.setattr(
+            pool_module, "_run_pooled",
+            lambda specs, results, indices, jobs, timeout: indices,
+        )
+        specs = _analytics_specs()
+        pooled = run_specs(specs, jobs=2, cache=None)
+        assert pooled == run_specs(specs, jobs=1, cache=None)
+
+    def test_pool_retry_then_success(self, monkeypatch):
+        """First pool pass fails, the retry pass delivers."""
+        calls = {"n": 0}
+        real = pool_module._run_pooled
+
+        def flaky(specs, results, indices, jobs, timeout):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return indices
+            return real(specs, results, indices, jobs, timeout)
+
+        monkeypatch.setattr(pool_module, "_run_pooled", flaky)
+        specs = _analytics_specs()
+        assert run_specs(specs, jobs=2, cache=None, retries=1) == \
+            run_specs(specs, jobs=1, cache=None)
+        assert calls["n"] == 2
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(None) == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-5) == 1
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(errors.ReproError):
+            resolve_jobs(None)

@@ -16,6 +16,12 @@ Commands:
 - ``check`` — run the correctness battery (invariant checkers + the
   differential oracle sweep); exits non-zero on any violation. Also
   installed as the ``repro-check`` console script.
+- ``trace <figure>`` — rerun one figure's representative specs with
+  the structured event tracer enabled and write a Chrome-trace JSON
+  (open in Perfetto / chrome://tracing). See docs/OBSERVABILITY.md.
+- ``metrics <figure>`` — rerun one figure's representative specs with
+  registry observation and dump the merged per-component metrics
+  snapshot as JSON.
 """
 
 from __future__ import annotations
@@ -123,6 +129,35 @@ def main(argv: list[str] | None = None) -> int:
                        help="measure and write only; never fail")
     bench.add_argument("--dry-run", action="store_true",
                        help="do not write a BENCH_*.json file")
+    from repro.harness.specsets import SPEC_FIGURES
+
+    trace = sub.add_parser(
+        "trace", help="write a Chrome-trace JSON for one figure's runs"
+    )
+    trace.add_argument("figure", choices=list(SPEC_FIGURES))
+    trace.add_argument("--scale", default="quick",
+                       choices=["quick", "default", "full"])
+    trace.add_argument("--jobs", type=int, default=None,
+                       help="parallel simulation workers "
+                            "(default: REPRO_JOBS or 1)")
+    trace.add_argument("--out", default=None,
+                       help="output path (default traces/<figure>-<scale>.json)")
+    trace.add_argument("--detail", action="store_true",
+                       help="also emit one instant event per engine event "
+                            "(much larger traces)")
+    trace.add_argument("--limit", type=int, default=1_000_000,
+                       help="per-run trace event cap (default 1,000,000)")
+    metrics = sub.add_parser(
+        "metrics", help="dump the merged metrics-registry snapshot for one figure"
+    )
+    metrics.add_argument("figure", choices=list(SPEC_FIGURES))
+    metrics.add_argument("--scale", default="quick",
+                         choices=["quick", "default", "full"])
+    metrics.add_argument("--jobs", type=int, default=None,
+                         help="parallel simulation workers "
+                              "(default: REPRO_JOBS or 1)")
+    metrics.add_argument("--out", default=None,
+                         help="write JSON here instead of stdout")
     sub.add_parser("quickstart", help="substrate walk-through")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     sub.add_parser("check", help="run invariant checkers + differential oracle")
@@ -132,6 +167,26 @@ def main(argv: list[str] | None = None) -> int:
         return run_figures(args.scale, jobs=args.jobs)
     if args.command == "bench":
         return run_bench_command(args)
+    if args.command == "trace":
+        from repro.obs.cli import run_trace
+
+        return run_trace(
+            args.figure,
+            scale_name=args.scale,
+            jobs=args.jobs,
+            out=args.out,
+            detail=args.detail,
+            limit=args.limit,
+        )
+    if args.command == "metrics":
+        from repro.obs.cli import run_metrics
+
+        return run_metrics(
+            args.figure,
+            scale_name=args.scale,
+            jobs=args.jobs,
+            out=args.out,
+        )
     if args.command == "quickstart":
         sys.path.insert(0, "examples")
         import importlib.util

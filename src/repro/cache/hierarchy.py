@@ -59,6 +59,7 @@ class _Miss:
     alt_pattern: int
     demand: bool
     waiters: list[_Waiter] = field(default_factory=list)
+    issued_at: int = 0
 
 
 class CacheHierarchy:
@@ -91,6 +92,10 @@ class CacheHierarchy:
         self.prefetcher = prefetcher
         self._misses: dict[tuple[int, int], _Miss] = {}
         self.stats = StatGroup("hierarchy")
+        #: Optional structured tracer (:mod:`repro.obs.tracer`); hooks
+        #: live on miss paths only, so ``None`` costs one check there
+        #: and nothing on the synchronous hit fast path.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Helpers
@@ -167,6 +172,12 @@ class CacheHierarchy:
                                   shuffled, alt_pattern, start_time)
             return (l1.hit_latency, line.read(offset, size))
         l1.stats.add("misses")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cache", "l1_miss", start_time, tid=core_id,
+                args={"address": address, "pattern": pattern,
+                      "write": is_write},
+            )
         # Train the prefetcher on L1 misses only (standard practice; also
         # keeps gathered-line streams from triggering bogus next-line
         # prefetches on their intra-line hit sequences).
@@ -415,7 +426,8 @@ class CacheHierarchy:
             if demand:
                 miss.demand = True
             return
-        miss = _Miss(line_address, pattern, shuffled, alt_pattern, demand)
+        miss = _Miss(line_address, pattern, shuffled, alt_pattern, demand,
+                     issued_at=start_time)
         if waiter is not None:
             miss.waiters.append(waiter)
         self._misses[key] = miss
@@ -448,6 +460,15 @@ class CacheHierarchy:
             self.module.read_line(miss.line_address, miss.pattern, miss.shuffled)
         )
         now = self.engine.now
+        if self.tracer is not None:
+            self.tracer.complete(
+                "mshr",
+                "demand_fetch" if miss.demand else "prefetch_fetch",
+                miss.issued_at,
+                max(0, now - miss.issued_at),
+                args={"line": miss.line_address, "pattern": miss.pattern,
+                      "waiters": len(miss.waiters)},
+            )
         self._fill_l2(miss.line_address, miss.pattern, data, miss.shuffled, now)
         if not miss.demand:
             self.stats.add("prefetch_fills")

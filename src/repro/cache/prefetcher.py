@@ -78,15 +78,25 @@ class StridePrefetcher:
             self._table[key] = _Entry(last_address=address)
             return []
 
+        # Baer-Chen reference prediction table transitions. On a match:
+        # INITIAL/TRANSIENT -> STEADY, NO_PRED -> TRANSIENT (a mispredicted
+        # entry needs the full three confirmations before bursting again).
+        # On a mismatch: INITIAL -> TRANSIENT, TRANSIENT -> NO_PRED,
+        # STEADY -> INITIAL (the learned stride keeps one chance to
+        # recover from a lone irregular access, so it is not overwritten).
         stride = address - entry.last_address
         if stride == entry.stride and stride != 0:
-            if entry.state is _State.INITIAL:
-                entry.state = _State.TRANSIENT
-            elif entry.state in (_State.TRANSIENT, _State.NO_PRED):
+            if entry.state in (_State.INITIAL, _State.TRANSIENT):
                 entry.state = _State.STEADY
+            elif entry.state is _State.NO_PRED:
+                entry.state = _State.TRANSIENT
         else:
             if entry.state is _State.STEADY:
                 entry.state = _State.INITIAL
+                entry.last_address = address
+                return []
+            if entry.state is _State.INITIAL:
+                entry.state = _State.TRANSIENT
             else:
                 entry.state = _State.NO_PRED
             entry.stride = stride

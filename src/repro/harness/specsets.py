@@ -1,0 +1,91 @@
+"""Representative per-figure RunSpec sets, shared across tools.
+
+One case per figure family, used by both ``repro bench`` (timing) and
+the observability CLI (``repro trace`` / ``repro metrics``): the tools
+agree on what "one representative fig9 run" means, and a spec simulated
+for the bench can be served from the result cache when the same spec is
+later profiled (and vice versa — modulo the ``obs`` flag, which is part
+of the cache key precisely so observed and plain runs never alias).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.harness.common import Scale
+from repro.perf.specs import RunSpec
+
+#: Figures with spec-based drivers (fig7 is a closed-form rendering and
+#: has nothing to trace).
+SPEC_FIGURES = ("fig9", "fig10", "fig11", "fig13")
+
+
+def figure_specs(figure: str, scale: Scale) -> list[RunSpec]:
+    """The representative runs for ``figure`` at ``scale``."""
+    from repro.db.workload import FIGURE9_MIXES
+
+    layouts = ("Row Store", "Column Store", "GS-DRAM")
+    if figure == "fig9":
+        mix = FIGURE9_MIXES[3]
+        return [
+            RunSpec(
+                kind="transactions",
+                layout=layout,
+                params={
+                    "mix": mix,
+                    "num_tuples": scale.db_tuples,
+                    "count": scale.db_transactions,
+                },
+                seed=42,
+            )
+            for layout in layouts
+        ]
+    if figure == "fig10":
+        return [
+            RunSpec(
+                kind="analytics",
+                layout=layout,
+                params={
+                    "query": (0,),
+                    "num_tuples": scale.db_tuples,
+                    "prefetch": True,
+                },
+            )
+            for layout in layouts
+        ]
+    if figure == "fig11":
+        return [
+            RunSpec(
+                kind="htap",
+                layout=layout,
+                params={"num_tuples": scale.htap_tuples},
+                config_overrides={"l2_size": scale.htap_l2_size},
+            )
+            for layout in ("Row Store", "GS-DRAM")
+        ]
+    if figure == "fig13":
+        return [
+            RunSpec(
+                kind="gemm",
+                params={"variant": variant, "n": scale.gemm_sizes[0], **extra},
+                seed=3,
+            )
+            for variant, extra in (
+                ("naive", {}),
+                ("tiled", {"tile": 8}),
+                ("gs", {"tile": 8}),
+            )
+        ]
+    raise ConfigError(
+        f"unknown figure {figure!r}; expected one of {SPEC_FIGURES}"
+    )
+
+
+def spec_label(spec: RunSpec) -> str:
+    """A short human label for one spec (trace track / log names)."""
+    parts = [spec.kind]
+    if spec.layout:
+        parts.append(spec.layout)
+    variant = spec.params.get("variant")
+    if variant:
+        parts.append(str(variant))
+    return ":".join(parts)

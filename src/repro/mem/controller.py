@@ -59,6 +59,9 @@ class MemoryController:
         #: column command when no queued request wants it.
         self.open_row_policy = open_row_policy
         self.command_trace: list[tuple[int, Command]] = []
+        #: Optional structured tracer (:mod:`repro.obs.tracer`); ``None``
+        #: keeps every hook to a single identity check on miss paths.
+        self.tracer = None
 
         banks = module.geometry.banks
         self._queues: list[list[MemoryRequest]] = [[] for _ in range(banks)]
@@ -215,6 +218,20 @@ class MemoryController:
         finish = burst_end + self._data_path_latency(request)
         request.finish_time = finish
         request.phase = Phase.DONE
+        if self.tracer is not None:
+            self.tracer.complete(
+                "controller",
+                "write" if request.is_write else "read",
+                request.arrival_time,
+                finish - request.arrival_time,
+                tid=bank_id,
+                args={
+                    "row": row,
+                    "column": column,
+                    "pattern": request.pattern,
+                    "row_hit": request.row_hit,
+                },
+            )
         self.queue_delay.observe(finish - request.arrival_time)
         self._active[bank_id] = None
         self.engine.schedule_at(finish, self._complete, request)
@@ -309,6 +326,19 @@ class MemoryController:
         self.stats.add(_CMD_STAT[command.kind])
         if self.trace_commands:
             self.command_trace.append((self.engine.now, command))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "dram-command",
+                command.kind.value,
+                self.engine.now,
+                tid=command.bank,
+                args={
+                    "bank": command.bank,
+                    "row": command.row,
+                    "column": command.column,
+                    "pattern": command.pattern,
+                },
+            )
 
     def _maybe_refresh(self) -> None:
         """Lazy opportunistic refresh (accounting + bank blocking).
@@ -333,6 +363,11 @@ class MemoryController:
             from repro.dram.commands import refresh
 
             self.command_trace.append((now, refresh()))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "dram-command", CommandKind.REFRESH.value, now,
+                args={"bank": -1, "intervals": intervals},
+            )
         # The most recent refresh is (conservatively) modelled as in
         # progress now: close all rows and block the banks for tRFC.
         end = now + timing.t_rp + timing.t_rfc

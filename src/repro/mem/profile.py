@@ -61,15 +61,30 @@ class RowLocality:
 
     activates_per_bank: dict[int, int]
     columns_per_activate: dict[int, float]  # mean columns served per row open
+    runs_per_bank: dict[int, int] = field(default_factory=dict)
 
     @property
     def mean_row_run(self) -> float:
-        """Average column commands served per row activation."""
+        """Average column commands served per row activation.
+
+        Weighted by each bank's activation (run) count: a bank that
+        opened 100 rows contributes 100x the weight of a bank that
+        opened one, rather than each bank's mean counting equally.
+        """
         if not self.columns_per_activate:
             return 0.0
-        return sum(self.columns_per_activate.values()) / len(
-            self.columns_per_activate
+        weights = {
+            bank: self.runs_per_bank.get(bank, 1)
+            for bank in self.columns_per_activate
+        }
+        total_runs = sum(weights.values())
+        if total_runs == 0:
+            return 0.0
+        total_columns = sum(
+            self.columns_per_activate[bank] * weights[bank]
+            for bank in self.columns_per_activate
         )
+        return total_columns / total_runs
 
 
 def bandwidth_profile(
@@ -81,7 +96,10 @@ def bandwidth_profile(
     profile = BandwidthProfile(bucket_cycles=bucket_cycles, line_bytes=line_bytes)
     if not trace:
         return profile
-    last_time = trace[-1][0]
+    # max(), not trace[-1]: merged multi-controller traces are not
+    # necessarily time-sorted, and an early trailing entry would size
+    # the bucket list short and crash on the out-of-order commands.
+    last_time = max(time for time, _command in trace)
     profile.buckets = [0] * (last_time // bucket_cycles + 1)
     for time, command in trace:
         if command.kind in (CommandKind.READ, CommandKind.WRITE):
@@ -102,7 +120,13 @@ def row_locality(trace: list[tuple[int, Command]]) -> RowLocality:
                 columns_current[bank] = 0
             activates[bank] += 1
         elif command.kind in (CommandKind.READ, CommandKind.WRITE):
-            columns_current[bank] += 1
+            # Columns served on a row opened before the trace started
+            # (no ACTIVATE recorded for this bank yet) have no matching
+            # activation to attribute them to; counting them as a run
+            # would credit a bank with locality its recorded activates
+            # never produced.
+            if activates[bank]:
+                columns_current[bank] += 1
     for bank, pending in columns_current.items():
         if pending:
             runs[bank].append(pending)
@@ -114,4 +138,5 @@ def row_locality(trace: list[tuple[int, Command]]) -> RowLocality:
     return RowLocality(
         activates_per_bank=dict(activates),
         columns_per_activate=means,
+        runs_per_bank={bank: len(bank_runs) for bank, bank_runs in runs.items()},
     )

@@ -1,0 +1,51 @@
+"""Unified observability: metrics registry + structured event tracer.
+
+Three layers, all optional and all zero-cost when unused:
+
+- :mod:`repro.obs.registry` — a :class:`MetricsRegistry` mapping
+  component paths (``mem.controller``, ``cache.l1.core0``) to the
+  components' live :class:`StatGroup`/:class:`Histogram` objects, with
+  snapshot / diff / merge and JSON export;
+- :mod:`repro.obs.tracer` — a structured span/instant/counter tracer
+  (categories: core, cache, mshr, controller, dram-command) exporting
+  Chrome trace format for Perfetto;
+- :mod:`repro.obs.views` — bandwidth and row-locality profiles derived
+  from the trace's ``dram-command`` events, subsuming the old opt-in
+  ``command_trace`` path.
+
+Activate with ``observe()``; any :class:`~repro.sim.system.System`
+built inside the block self-registers. ``RunSpec.obs`` plumbs the same
+switch through the process pool and result cache. See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot, default_registry
+from repro.obs.session import ObsRun, ObsSession, current_session, observe
+from repro.obs.tracer import (
+    CATEGORIES,
+    Tracer,
+    chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.views import (
+    bandwidth_view,
+    commands_from_trace,
+    row_locality_view,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsRun",
+    "ObsSession",
+    "Tracer",
+    "bandwidth_view",
+    "chrome_trace",
+    "commands_from_trace",
+    "current_session",
+    "default_registry",
+    "observe",
+    "row_locality_view",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,209 @@
+"""Process-wide metrics registry over the components' own counters.
+
+Every simulator component already keeps a :class:`StatGroup` (and
+sometimes a :class:`Histogram`); what was missing is one place that
+knows about all of them. A :class:`MetricsRegistry` maps *component
+paths* — dotted names like ``mem.controller`` or ``cache.l1.core0`` —
+to those live objects, and can freeze the whole tree into a
+:class:`MetricsSnapshot`: a plain-data (picklable, JSON-able) view
+supporting ``diff`` (what changed between two points of a run) and
+``merge`` (fold the snapshots of many runs into one).
+
+The registry holds *references*: registering is one dict insert, and
+components keep updating their own counters with zero added cost.
+Reading happens only when someone asks for a snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.utils.statistics import Histogram, StatGroup
+
+SNAPSHOT_SCHEMA = 1
+
+
+@dataclass
+class MetricsSnapshot:
+    """A frozen, plain-data view of a registry at one instant."""
+
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def paths(self) -> list[str]:
+        """Every component path present, sorted."""
+        return sorted(set(self.counters) | set(self.histograms))
+
+    def get(self, path: str, counter: str) -> int:
+        """One counter's value (0 when absent)."""
+        return self.counters.get(path, {}).get(counter, 0)
+
+    def total(self, counter: str, prefix: str = "") -> int:
+        """Sum of ``counter`` across every path starting with ``prefix``.
+
+        ``total("misses", "cache.l1")`` is the fleet-wide L1 miss count
+        regardless of how many cores (or systems) registered.
+        """
+        return sum(
+            values.get(counter, 0)
+            for path, values in self.counters.items()
+            if path.startswith(prefix)
+        )
+
+    # ------------------------------------------------------------------
+    def diff(self, older: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counter deltas since ``older`` (histograms: the newer digest).
+
+        Paths absent from ``older`` are treated as all-zero, so a diff
+        against an early snapshot includes late-registered components.
+        """
+        counters: dict[str, dict[str, int]] = {}
+        for path, values in self.counters.items():
+            base = older.counters.get(path, {})
+            delta = {
+                key: value - base.get(key, 0)
+                for key, value in values.items()
+                if value - base.get(key, 0)
+            }
+            if delta:
+                counters[path] = delta
+        return MetricsSnapshot(counters=counters, histograms=dict(self.histograms))
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Sum two snapshots (e.g. the per-run snapshots of a sweep).
+
+        Counters add; histogram digests add their counts/buckets and
+        keep the larger maximum (the mean is recomputed from the sums).
+        """
+        counters = {path: dict(values) for path, values in self.counters.items()}
+        for path, values in other.counters.items():
+            into = counters.setdefault(path, {})
+            for key, value in values.items():
+                into[key] = into.get(key, 0) + value
+        histograms = {path: dict(digest) for path, digest in self.histograms.items()}
+        for path, digest in other.histograms.items():
+            if path not in histograms:
+                histograms[path] = dict(digest)
+                continue
+            histograms[path] = _merge_histogram(histograms[path], digest)
+        return MetricsSnapshot(counters=counters, histograms=histograms)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-able form (stable key order for byte-stable exports)."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {
+                path: dict(sorted(self.counters[path].items()))
+                for path in sorted(self.counters)
+            },
+            "histograms": {
+                path: self.histograms[path] for path in sorted(self.histograms)
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsSnapshot":
+        return cls(
+            counters={
+                path: dict(values)
+                for path, values in payload.get("counters", {}).items()
+            },
+            histograms={
+                path: dict(digest)
+                for path, digest in payload.get("histograms", {}).items()
+            },
+        )
+
+
+def _merge_histogram(a: dict, b: dict) -> dict:
+    """Combine two histogram digests produced by Histogram.summary()."""
+    count = a.get("count", 0) + b.get("count", 0)
+    total = (
+        a.get("mean", 0.0) * a.get("count", 0)
+        + b.get("mean", 0.0) * b.get("count", 0)
+    )
+    buckets: dict[str, int] = dict(a.get("buckets", {}))
+    for key, value in b.get("buckets", {}).items():
+        buckets[key] = buckets.get(key, 0) + value
+    return {
+        "count": count,
+        "mean": total / count if count else 0.0,
+        "maximum": max(a.get("maximum", 0), b.get("maximum", 0)),
+        "bucket_width": a.get("bucket_width", b.get("bucket_width", 1)),
+        "buckets": buckets,
+    }
+
+
+class MetricsRegistry:
+    """Component path -> live StatGroup / Histogram directory."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, StatGroup] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def register(self, path: str, metric: StatGroup | Histogram) -> None:
+        """Register a component's stats under a dotted path.
+
+        Paths are unique: registering the same path twice is a
+        configuration error (two components would silently shadow each
+        other in every export).
+        """
+        if path in self._groups or path in self._histograms:
+            raise ConfigError(f"metrics path {path!r} is already registered")
+        if isinstance(metric, StatGroup):
+            self._groups[path] = metric
+        elif isinstance(metric, Histogram):
+            self._histograms[path] = metric
+        else:
+            raise ConfigError(
+                f"cannot register {type(metric).__name__} at {path!r}; "
+                "expected StatGroup or Histogram"
+            )
+
+    def unregister(self, path: str) -> None:
+        self._groups.pop(path, None)
+        self._histograms.pop(path, None)
+
+    def paths(self) -> list[str]:
+        return sorted([*self._groups, *self._histograms])
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._groups or path in self._histograms
+
+    def __len__(self) -> int:
+        return len(self._groups) + len(self._histograms)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every registered metric's current values."""
+        return MetricsSnapshot(
+            counters={
+                path: group.as_dict() for path, group in self._groups.items()
+            },
+            histograms={
+                path: histogram.summary()
+                for path, histogram in self._histograms.items()
+            },
+        )
+
+
+_DEFAULT: MetricsRegistry | None = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (created on first use).
+
+    Observability sessions (:mod:`repro.obs.session`) use their own
+    fresh registries so concurrent runs don't interleave; the default
+    registry is for long-lived embedders that want one global sink.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = MetricsRegistry()
+    return _DEFAULT

@@ -17,6 +17,7 @@ wall-clock is not comparable across hosts); set
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
 import json
 import os
@@ -46,74 +47,34 @@ class BenchCase:
 
 
 def bench_cases(scale) -> list[BenchCase]:
-    """The bench suite: one representative case per figure family."""
-    from repro.db.workload import FIGURE9_MIXES
-    from repro.harness.fig7_patterns import render_figure7
+    """The bench suite: one representative case per figure family.
 
-    layouts = ("Row Store", "Column Store", "GS-DRAM")
-    mix = FIGURE9_MIXES[3]
-    cases = [
-        BenchCase("fig7-patterns", func=render_figure7),
-        BenchCase(
-            "fig9-transactions",
-            specs=[
-                RunSpec(
-                    kind="transactions",
-                    layout=layout,
-                    params={
-                        "mix": mix,
-                        "num_tuples": scale.db_tuples,
-                        "count": scale.db_transactions,
-                    },
-                    seed=42,
-                )
-                for layout in layouts
-            ],
-        ),
-        BenchCase(
-            "fig10-analytics",
-            specs=[
-                RunSpec(
-                    kind="analytics",
-                    layout=layout,
-                    params={
-                        "query": (0,),
-                        "num_tuples": scale.db_tuples,
-                        "prefetch": True,
-                    },
-                )
-                for layout in layouts
-            ],
-        ),
-        BenchCase(
-            "fig11-htap",
-            specs=[
-                RunSpec(
-                    kind="htap",
-                    layout=layout,
-                    params={"num_tuples": scale.htap_tuples},
-                    config_overrides={"l2_size": scale.htap_l2_size},
-                )
-                for layout in ("Row Store", "GS-DRAM")
-            ],
-        ),
-        BenchCase(
-            "fig13-gemm",
-            specs=[
-                RunSpec(
-                    kind="gemm",
-                    params={"variant": variant, "n": scale.gemm_sizes[0],
-                            **extra},
-                    seed=3,
-                )
-                for variant, extra in (
-                    ("naive", {}),
-                    ("tiled", {"tile": 8}),
-                    ("gs", {"tile": 8}),
-                )
-            ],
-        ),
-    ]
+    Spec-based cases run with ``obs="metrics"`` so each record carries a
+    registry snapshot; per-component attribution comes from those
+    snapshots rather than any bench-private bookkeeping. Registry
+    observation is a handful of dict inserts per run, so the timing
+    stays honest.
+    """
+    from repro.harness.fig7_patterns import render_figure7
+    from repro.harness.specsets import SPEC_FIGURES, figure_specs
+
+    case_names = {
+        "fig9": "fig9-transactions",
+        "fig10": "fig10-analytics",
+        "fig11": "fig11-htap",
+        "fig13": "fig13-gemm",
+    }
+    cases = [BenchCase("fig7-patterns", func=render_figure7)]
+    for figure in SPEC_FIGURES:
+        cases.append(
+            BenchCase(
+                case_names[figure],
+                specs=[
+                    dataclasses.replace(spec, obs="metrics")
+                    for spec in figure_specs(figure, scale)
+                ],
+            )
+        )
     return cases
 
 
@@ -125,9 +86,18 @@ def _run_results(records: list[Any]):
             yield result
 
 
-def _attribution(records: list[Any]) -> dict[str, float]:
-    """Per-component cycle/traffic attribution for one case."""
-    out = {
+def _attribution(records: list[Any]) -> dict[str, Any]:
+    """Per-component attribution, read from the metrics registry.
+
+    Spec-based cases return :class:`~repro.obs.ObsRun` records whose
+    snapshots are merged into one component-path -> counters view; the
+    headline numbers are totals over path prefixes (``cache.l1``,
+    ``mem.``, ...). ``cycles``/``engine_events`` stay run-level (they
+    are clock readings, not component counters).
+    """
+    from repro.obs.registry import MetricsSnapshot
+
+    out: dict[str, Any] = {
         "cycles": 0.0,
         "instructions": 0.0,
         "engine_events": 0.0,
@@ -139,23 +109,37 @@ def _attribution(records: list[Any]) -> dict[str, float]:
         "l2_misses": 0.0,
         "mean_memory_queue_delay": 0.0,
     }
-    runs = 0
+    merged = MetricsSnapshot()
+    observed = 0
+    for record in records:
+        snapshot = getattr(record, "metrics", None)
+        if isinstance(snapshot, MetricsSnapshot):
+            merged = merged.merge(snapshot)
+            observed += 1
     for result in _run_results(records):
-        runs += 1
         out["cycles"] += result.cycles
-        out["instructions"] += result.instructions
         out["engine_events"] += result.extra.get("engine_events", 0.0)
-        out["dram_reads"] += result.dram_reads
-        out["dram_writes"] += result.dram_writes
-        out["row_hits"] += result.row_hits
-        out["row_misses"] += result.row_misses
-        out["l1_misses"] += result.l1_misses
-        out["l2_misses"] += result.l2_misses
-        out["mean_memory_queue_delay"] += result.extra.get(
-            "mean_memory_queue_delay", 0.0
-        )
-    if runs:
-        out["mean_memory_queue_delay"] /= runs
+    if observed:
+        out["instructions"] = float(merged.total("instructions", "cpu."))
+        out["dram_reads"] = float(merged.total("cmd_RD", "mem."))
+        out["dram_writes"] = float(merged.total("cmd_WR", "mem."))
+        out["row_hits"] = float(merged.total("row_hits", "mem."))
+        out["row_misses"] = float(merged.total("row_misses", "mem."))
+        out["l1_misses"] = float(merged.total("misses", "cache.l1"))
+        out["l2_misses"] = float(merged.total("misses", "cache.l2"))
+        delays = [
+            digest for path, digest in merged.histograms.items()
+            if path.endswith("queue_delay")
+        ]
+        total_count = sum(d.get("count", 0) for d in delays)
+        if total_count:
+            out["mean_memory_queue_delay"] = (
+                sum(d.get("mean", 0.0) * d.get("count", 0) for d in delays)
+                / total_count
+            )
+        out["components"] = {
+            path: values for path, values in sorted(merged.counters.items())
+        }
     return out
 
 
@@ -264,7 +248,7 @@ def run_bench(
             scratch.cleanup()
 
     payload = {
-        "schema": 1,
+        "schema": 2,  # 2: attribution sourced from the metrics registry
         "timestamp": datetime.datetime.now().isoformat(timespec="seconds"),
         "scale": scale.name,
         "jobs": jobs,

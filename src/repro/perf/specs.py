@@ -29,6 +29,14 @@ class RunSpec:
     ``htap`` / ``gemm``), ``layout`` names a storage layout from
     :func:`make_layout`, ``params`` are the driver's keyword arguments,
     and ``seed`` pins the workload generator.
+
+    ``obs`` selects observability (see :mod:`repro.obs`): ``"off"``
+    (default), ``"metrics"`` (registry snapshot, near-zero cost),
+    ``"trace"`` (snapshot + structured event trace), or
+    ``"trace-detail"`` (additionally one instant per engine event).
+    Because ``obs`` is part of the canonical form, it is part of the
+    cache key: a traced request is never served from an untraced cache
+    entry, and vice versa.
     """
 
     kind: str
@@ -36,6 +44,14 @@ class RunSpec:
     params: dict = field(default_factory=dict)
     config_overrides: dict = field(default_factory=dict)
     seed: int | None = None
+    obs: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.obs not in ("off", "metrics", "trace", "trace-detail"):
+            raise ConfigError(
+                f"unknown obs mode {self.obs!r}; expected 'off', "
+                "'metrics', 'trace', or 'trace-detail'"
+            )
 
 
 def _canonical(value: Any) -> Any:
@@ -91,8 +107,38 @@ def execute_spec(spec: RunSpec) -> Any:
 
     This is the function process-pool workers call, so everything it
     touches must be importable from a bare interpreter and everything
-    it returns must pickle.
+    it returns must pickle. Observed specs (``obs != "off"``) run under
+    an observability session and return an :class:`~repro.obs.ObsRun`
+    envelope (record + metrics snapshot + optional trace events), which
+    pickles across both the pool and the result cache.
     """
+    if spec.obs != "off":
+        import os
+
+        from repro.obs.session import ObsRun, observe
+
+        trace = spec.obs in ("trace", "trace-detail")
+        # REPRO_TRACE_LIMIT reaches pool workers through the inherited
+        # environment; a spec field would needlessly split cache keys.
+        limit = int(os.environ.get("REPRO_TRACE_LIMIT", "1000000"))
+        with observe(
+            trace=trace,
+            max_trace_events=limit,
+            detail=spec.obs == "trace-detail",
+        ) as session:
+            record = _execute_driver(spec)
+        tracer = session.tracer
+        return ObsRun(
+            record=record,
+            metrics=session.snapshot(),
+            trace_events=list(tracer.events) if tracer is not None else None,
+            dropped_events=tracer.dropped if tracer is not None else 0,
+        )
+    return _execute_driver(spec)
+
+
+def _execute_driver(spec: RunSpec) -> Any:
+    """Dispatch to the figure driver named by ``spec.kind``."""
     from repro.db.engine import run_analytics, run_htap, run_transactions
     from repro.db.workload import AnalyticsQuery, TransactionMix
 

@@ -23,6 +23,7 @@ from repro.mem.channels import MultiChannelController, MultiChannelModule
 from repro.mem.controller import MemoryController
 from repro.mem.impulse import ImpulseController, ImpulseModule
 from repro.mem.schedulers import FCFS, FRFCFS, Scheduler
+from repro.obs.session import current_session
 from repro.sim.config import Mechanism, SchedulerKind, SystemConfig
 from repro.sim.results import RunResult
 from repro.utils.events import Engine
@@ -155,6 +156,12 @@ class System:
             )
             for core_id in range(config.cores)
         ]
+        # An active observability session (repro.obs) adopts every
+        # system built inside it: stats registered by component path,
+        # tracer installed into the engine/hierarchy/controller(s).
+        session = current_session()
+        if session is not None:
+            session.attach(self)
 
     # ------------------------------------------------------------------
     # Allocation and functional memory access

@@ -27,6 +27,9 @@ class Engine:
         self._seq = 0
         self._running = False
         self.events_processed = 0
+        #: Optional structured event tracer (see :mod:`repro.obs.tracer`).
+        #: ``None`` keeps the dispatch loop on its untraced fast path.
+        self.tracer = None
 
     @property
     def now(self) -> int:
@@ -63,6 +66,8 @@ class Engine:
         time, _seq, callback, args = heapq.heappop(self._heap)
         self._now = time
         self.events_processed += 1
+        if self.tracer is not None:
+            self.tracer.engine_event(time, callback)
         callback(*args)
         return True
 
@@ -84,17 +89,36 @@ class Engine:
         heap = self._heap
         pop = heapq.heappop
         count = 0
+        tracer = self.tracer
         try:
-            while heap:
-                time, _seq, callback, args = pop(heap)
-                self._now = time
-                callback(*args)
-                count += 1
-                if max_events is not None and count > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "likely a non-terminating workload"
-                    )
+            if tracer is not None:
+                while heap:
+                    if count == max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a non-terminating workload"
+                        )
+                    time, _seq, callback, args = pop(heap)
+                    self._now = time
+                    tracer.engine_event(time, callback)
+                    callback(*args)
+                    count += 1
+            else:
+                while heap:
+                    # The guard runs *before* dispatch so exactly
+                    # ``max_events`` events execute — the same budget a
+                    # caller gets from ``max_events`` repeated ``step()``
+                    # calls. (``count == None`` is never true, so the
+                    # unguarded case costs one comparison.)
+                    if count == max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a non-terminating workload"
+                        )
+                    time, _seq, callback, args = pop(heap)
+                    self._now = time
+                    callback(*args)
+                    count += 1
         finally:
             self.events_processed += count
             self._running = False

@@ -58,14 +58,24 @@ class Histogram:
     _buckets: Counter[int] = field(default_factory=Counter)
     _count: int = 0
     _total: int = 0
-    _maximum: int = 0
+    _maximum: int | None = None
 
     def observe(self, value: int) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        Only ``int`` values are accepted: a float would silently create
+        fractional bucket keys (``value // bucket_width`` stays a float)
+        that never merge with their integer neighbours.
+        """
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(
+                f"Histogram.observe expects an int, got "
+                f"{type(value).__name__}: {value!r}"
+            )
         self._buckets[value // self.bucket_width] += 1
         self._count += 1
         self._total += value
-        if value > self._maximum:
+        if self._maximum is None or value > self._maximum:
             self._maximum = value
 
     @property
@@ -78,7 +88,18 @@ class Histogram:
 
     @property
     def maximum(self) -> int:
-        return self._maximum
+        """Largest observed value (0 when nothing has been observed)."""
+        return self._maximum if self._maximum is not None else 0
+
+    def summary(self) -> dict:
+        """JSON-able digest: count, mean, maximum, and bucket counts."""
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "maximum": self.maximum,
+            "bucket_width": self.bucket_width,
+            "buckets": {str(k): v for k, v in self.buckets().items()},
+        }
 
     def buckets(self) -> dict[int, int]:
         """Mapping of bucket lower bound -> observation count."""

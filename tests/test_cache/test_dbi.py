@@ -48,6 +48,37 @@ class TestOverlapQuery:
         assert dbi.total_dirty() == 2
 
 
+class TestConsistency:
+    def test_mark_clean_missing_row_leaves_totals(self):
+        dbi = DirtyBlockIndex()
+        dbi.mark_dirty((0, 1), (64, 0))
+        dbi.mark_clean((3, 9), (64, 0))  # row never marked
+        dbi.mark_clean((0, 1), (128, 0))  # row known, block not dirty
+        assert dbi.total_dirty() == 1
+        assert dbi.dirty_in_row((0, 1)) == {(64, 0)}
+
+    def test_total_dirty_tracks_interleaved_marks_and_cleans(self):
+        # Mirror the index against a plain set through a deterministic
+        # interleaving of marks, duplicate marks, and cleans (including
+        # cleans of never-marked blocks).
+        dbi = DirtyBlockIndex()
+        mirror: set[tuple[tuple[int, int], tuple[int, int]]] = set()
+        rows = [(0, 1), (0, 2), (1, 1)]
+        for step in range(60):
+            row = rows[step % len(rows)]
+            block = ((step * 7) % 5 * 64, step % 2)
+            if step % 4 == 3:
+                dbi.mark_clean(row, block)
+                mirror.discard((row, block))
+            else:
+                dbi.mark_dirty(row, block)
+                mirror.add((row, block))
+        assert dbi.total_dirty() == len(mirror)
+        for row in rows:
+            expected = {block for r, block in mirror if r == row}
+            assert dbi.dirty_in_row(row) == expected
+
+
 class TestStats:
     def test_query_counters(self):
         dbi = DirtyBlockIndex()

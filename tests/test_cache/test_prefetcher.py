@@ -1,6 +1,8 @@
 """Tests for the PC-based stride prefetcher."""
 
-from repro.cache.prefetcher import StridePrefetcher
+import pytest
+
+from repro.cache.prefetcher import StridePrefetcher, _Entry, _State
 
 
 def train(prefetcher, pc, addresses, pattern=0):
@@ -13,10 +15,11 @@ def train(prefetcher, pc, addresses, pattern=0):
 
 class TestTraining:
     def test_needs_confidence_before_predicting(self):
-        pf = StridePrefetcher(degree=4)
-        assert train(pf, 1, [0]) == []
-        assert train(pf, 1, [0, 64]) == []       # stride learned, transient
-        assert train(pf, 1, [0, 64, 128]) != []  # steady
+        # Fresh table per prefix: re-training the same PC would itself be
+        # a mispredict-recovery scenario with its own (longer) ramp-up.
+        assert train(StridePrefetcher(degree=4), 1, [0]) == []
+        assert train(StridePrefetcher(degree=4), 1, [0, 64]) == []
+        assert train(StridePrefetcher(degree=4), 1, [0, 64, 128]) != []
 
     def test_stride_change_resets(self):
         pf = StridePrefetcher(degree=4)
@@ -31,6 +34,57 @@ class TestTraining:
         pf = StridePrefetcher(degree=2)
         train(pf, 1, [0, 64, 128])
         assert train(pf, 2, [0]) == []
+
+
+class TestTransitionTable:
+    """The full Baer-Chen reference prediction table state machine.
+
+    Regression: the first matching stride in NO_PRED used to jump the
+    entry straight to STEADY, letting a mispredicted PC burst prefetches
+    after a single confirmation.
+    """
+
+    @pytest.mark.parametrize(
+        "state, match, expected",
+        [
+            (_State.INITIAL, True, _State.STEADY),
+            (_State.TRANSIENT, True, _State.STEADY),
+            (_State.STEADY, True, _State.STEADY),
+            (_State.NO_PRED, True, _State.TRANSIENT),
+            (_State.INITIAL, False, _State.TRANSIENT),
+            (_State.TRANSIENT, False, _State.NO_PRED),
+            (_State.STEADY, False, _State.INITIAL),
+            (_State.NO_PRED, False, _State.NO_PRED),
+        ],
+    )
+    def test_transition(self, state, match, expected):
+        pf = StridePrefetcher(degree=2)
+        key = (0, 0x100)
+        pf._table[key] = _Entry(last_address=1000, stride=64, state=state)
+        address = 1064 if match else 1200
+        pf.observe(0x100, address, 0, False, 0)
+        assert pf._table[key].state is expected
+
+    def test_no_pred_needs_two_matches_to_predict(self):
+        pf = StridePrefetcher(degree=2)
+        key = (0, 0x100)
+        pf._table[key] = _Entry(last_address=0, stride=64, state=_State.NO_PRED)
+        assert pf.observe(0x100, 64, 0, False, 0) == []  # -> TRANSIENT
+        out = pf.observe(0x100, 128, 0, False, 0)  # -> STEADY
+        assert [c.address for c in out] == [192, 256]
+
+    def test_steady_keeps_stride_for_one_shot_recovery(self):
+        # A lone irregular access demotes STEADY -> INITIAL but must not
+        # overwrite the learned stride: the very next conforming access
+        # re-confirms it.
+        pf = StridePrefetcher(degree=2)
+        key = (0, 0x100)
+        pf._table[key] = _Entry(last_address=1000, stride=64,
+                                state=_State.STEADY)
+        assert pf.observe(0x100, 5000, 0, False, 0) == []
+        assert pf._table[key].stride == 64
+        out = pf.observe(0x100, 5064, 0, False, 0)
+        assert [c.address for c in out] == [5128, 5192]
 
 
 class TestCandidates:

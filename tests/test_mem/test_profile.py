@@ -41,6 +41,14 @@ class TestBandwidthProfile:
         profile = bandwidth_profile(trace, bucket_cycles=1000)
         assert profile.average_bytes_per_cycle() == pytest.approx(128 / 2000)
 
+    def test_unsorted_trace(self):
+        # Regression: sizing buckets from trace[-1] crashed on merged
+        # multi-controller traces, whose entries are not time-sorted.
+        trace = [(1999, read(0, 1)), (0, read(0, 0)), (500, write(0, 2))]
+        profile = bandwidth_profile(trace, bucket_cycles=1000)
+        assert profile.buckets == [128, 64]
+        assert profile.total_bytes == 192
+
 
 class TestRowLocality:
     def test_counts_runs(self):
@@ -58,6 +66,34 @@ class TestRowLocality:
 
     def test_mean_row_run_empty(self):
         assert row_locality([]).mean_row_run == 0.0
+
+    def test_mean_row_run_weights_by_run_count(self):
+        # Regression: the mean averaged per-bank means, so a bank with
+        # one long run counted as much as a bank with many short ones.
+        trace = [
+            (0, activate(0, 1)), (1, read(0, 0)),
+            (2, precharge(0)),
+            (3, activate(0, 2)), (4, read(0, 0)),
+            (5, activate(1, 1)),
+            (6, read(1, 0)), (7, read(1, 1)), (8, read(1, 2)), (9, read(1, 3)),
+        ]
+        locality = row_locality(trace)
+        assert locality.runs_per_bank == {0: 2, 1: 1}
+        # Runs are 1, 1, 4 columns: mean 2.0, not (1.0 + 4.0) / 2 = 2.5.
+        assert locality.mean_row_run == pytest.approx(2.0)
+
+    def test_warm_row_columns_are_not_a_run(self):
+        # Regression: column commands before a bank's first recorded
+        # ACTIVATE (a row left open before tracing began) were emitted
+        # as a run, crediting locality no recorded activate produced.
+        trace = [
+            (0, read(0, 0)), (1, read(0, 1)),  # warm-row hits
+            (2, precharge(0)),
+            (3, activate(0, 2)), (4, read(0, 0)),
+        ]
+        locality = row_locality(trace)
+        assert locality.runs_per_bank == {0: 1}
+        assert locality.mean_row_run == pytest.approx(1.0)
 
 
 class TestEndToEnd:

@@ -1,0 +1,127 @@
+"""Tests for the metrics registry and snapshot algebra."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+from repro.utils.statistics import Histogram, StatGroup
+
+
+def _registry_with_counters(**paths):
+    registry = MetricsRegistry()
+    for path, counters in paths.items():
+        group = StatGroup(path)
+        for name, value in counters.items():
+            group.add(name, value)
+        registry.register(path.replace("_", "."), group)
+    return registry
+
+
+class TestRegistry:
+    def test_register_and_snapshot(self):
+        registry = MetricsRegistry()
+        stats = StatGroup("mc")
+        stats.add("requests", 3)
+        registry.register("mem.controller", stats)
+        snap = registry.snapshot()
+        assert snap.get("mem.controller", "requests") == 3
+
+    def test_snapshot_is_frozen(self):
+        registry = MetricsRegistry()
+        stats = StatGroup("mc")
+        registry.register("mem.controller", stats)
+        before = registry.snapshot()
+        stats.add("requests", 5)
+        assert before.get("mem.controller", "requests") == 0
+        assert registry.snapshot().get("mem.controller", "requests") == 5
+
+    def test_histogram_registration(self):
+        registry = MetricsRegistry()
+        hist = Histogram()
+        for value in (10, 20):
+            hist.observe(value)
+        registry.register("mem.controller.queue_delay", hist)
+        snap = registry.snapshot()
+        digest = snap.histograms["mem.controller.queue_delay"]
+        assert digest["count"] == 2
+        assert digest["mean"] == pytest.approx(15.0)
+
+    def test_duplicate_path_rejected(self):
+        registry = MetricsRegistry()
+        registry.register("cpu.core0", StatGroup("a"))
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.register("cpu.core0", StatGroup("b"))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigError, match="expected StatGroup"):
+            MetricsRegistry().register("x", object())
+
+    def test_unregister_and_membership(self):
+        registry = MetricsRegistry()
+        registry.register("cpu.core0", StatGroup("a"))
+        assert "cpu.core0" in registry
+        assert len(registry) == 1
+        registry.unregister("cpu.core0")
+        assert "cpu.core0" not in registry
+        assert registry.paths() == []
+
+
+class TestSnapshotAlgebra:
+    def test_total_over_prefix(self):
+        registry = _registry_with_counters(
+            cache_l1_core0={"misses": 3},
+            cache_l1_core1={"misses": 4},
+            cache_l2={"misses": 5},
+        )
+        snap = registry.snapshot()
+        assert snap.total("misses", "cache.l1") == 7
+        assert snap.total("misses") == 12
+
+    def test_diff(self):
+        registry = MetricsRegistry()
+        stats = StatGroup("mc")
+        stats.add("requests", 2)
+        registry.register("mem.controller", stats)
+        older = registry.snapshot()
+        stats.add("requests", 9)
+        delta = registry.snapshot().diff(older)
+        assert delta.get("mem.controller", "requests") == 9
+
+    def test_diff_includes_late_registered_paths(self):
+        registry = MetricsRegistry()
+        older = registry.snapshot()
+        stats = StatGroup("mc")
+        stats.add("requests", 4)
+        registry.register("mem.controller", stats)
+        delta = registry.snapshot().diff(older)
+        assert delta.get("mem.controller", "requests") == 4
+
+    def test_merge_sums_counters_and_histograms(self):
+        a = MetricsSnapshot(
+            counters={"mem.controller": {"requests": 2}},
+            histograms={"q": {"count": 2, "mean": 10.0, "maximum": 12,
+                              "bucket_width": 1, "buckets": {"10": 2}}},
+        )
+        b = MetricsSnapshot(
+            counters={"mem.controller": {"requests": 3, "row_hits": 1}},
+            histograms={"q": {"count": 2, "mean": 30.0, "maximum": 31,
+                              "bucket_width": 1, "buckets": {"30": 2}}},
+        )
+        merged = a.merge(b)
+        assert merged.get("mem.controller", "requests") == 5
+        assert merged.get("mem.controller", "row_hits") == 1
+        digest = merged.histograms["q"]
+        assert digest["count"] == 4
+        assert digest["mean"] == pytest.approx(20.0)
+        assert digest["maximum"] == 31
+        assert digest["buckets"] == {"10": 2, "30": 2}
+
+    def test_json_round_trip(self):
+        registry = _registry_with_counters(cpu_core0={"instructions": 7})
+        snap = registry.snapshot()
+        payload = json.loads(snap.to_json())
+        restored = MetricsSnapshot.from_dict(payload)
+        assert restored.get("cpu.core0", "instructions") == 7
+        assert restored.paths() == snap.paths()

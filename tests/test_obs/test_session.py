@@ -1,0 +1,128 @@
+"""Tests for observability sessions: attachment, envelopes, spec wiring."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.session import ObsRun, ObsSession, current_session, observe
+from repro.perf.specs import RunSpec, cache_key, execute_spec
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+
+
+def _tiny_config(**overrides):
+    defaults = dict(l1_size=1024, l2_size=4096)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+GEMM_SPEC = RunSpec(kind="gemm", params={"variant": "naive", "n": 8}, seed=3)
+
+
+class TestSessionLifecycle:
+    def test_no_session_by_default(self):
+        assert current_session() is None
+
+    def test_observe_installs_and_restores(self):
+        with observe() as outer:
+            assert current_session() is outer
+            with observe() as inner:
+                assert current_session() is inner
+            assert current_session() is outer
+        assert current_session() is None
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with observe():
+                raise RuntimeError("boom")
+        assert current_session() is None
+
+
+class TestAttachment:
+    def test_system_registers_component_paths(self):
+        with observe() as session:
+            System(_tiny_config())
+        paths = session.registry.paths()
+        assert "cpu.core0" in paths
+        assert "cache.l1.core0" in paths
+        assert "cache.l2" in paths
+        assert "mem.controller" in paths
+        assert "mem.controller.queue_delay" in paths
+
+    def test_second_system_is_namespaced(self):
+        with observe() as session:
+            System(_tiny_config())
+            System(_tiny_config())
+        paths = session.registry.paths()
+        assert "mem.controller" in paths
+        assert "sys1.mem.controller" in paths
+
+    def test_tracer_installed_only_when_tracing(self):
+        with observe() as session:
+            system = System(_tiny_config())
+        assert session.tracer is None
+        assert system.engine.tracer is None
+        with observe(trace=True) as session:
+            system = System(_tiny_config())
+        assert system.engine.tracer is session.tracer
+        assert system.hierarchy.tracer is session.tracer
+        assert system.controller.tracer is session.tracer
+
+    def test_prefetcher_registered_when_present(self):
+        with observe() as session:
+            System(_tiny_config(prefetch=True))
+        assert "cache.prefetcher" in session.registry.paths()
+
+
+class TestSpecIntegration:
+    def test_obs_field_validated(self):
+        with pytest.raises(ConfigError, match="unknown obs mode"):
+            RunSpec(kind="gemm", obs="everything")
+
+    def test_obs_field_changes_cache_key(self):
+        import dataclasses
+
+        traced = dataclasses.replace(GEMM_SPEC, obs="trace")
+        assert cache_key(GEMM_SPEC) != cache_key(traced)
+
+    def test_metrics_run_returns_envelope(self):
+        import dataclasses
+
+        record = execute_spec(dataclasses.replace(GEMM_SPEC, obs="metrics"))
+        assert isinstance(record, ObsRun)
+        assert record.verified
+        assert record.result is not None and record.result.cycles > 0
+        assert record.trace_events is None
+        assert record.metrics.total("instructions", "cpu.") > 0
+        assert record.metrics.total("cmd_RD", "mem.") > 0
+
+    def test_traced_run_carries_events_and_pickles(self):
+        import dataclasses
+
+        record = execute_spec(dataclasses.replace(GEMM_SPEC, obs="trace"))
+        assert record.trace_events
+        categories = {event["cat"] for event in record.trace_events}
+        assert "dram-command" in categories
+        assert "controller" in categories
+        restored = pickle.loads(pickle.dumps(record))
+        assert restored.metrics.paths() == record.metrics.paths()
+        assert len(restored.trace_events) == len(record.trace_events)
+
+    def test_untraced_run_is_plain_record(self):
+        record = execute_spec(GEMM_SPEC)
+        assert not isinstance(record, ObsRun)
+
+    def test_observed_and_plain_results_agree(self):
+        import dataclasses
+
+        plain = execute_spec(GEMM_SPEC)
+        observed = execute_spec(dataclasses.replace(GEMM_SPEC, obs="trace"))
+        assert observed.result.cycles == plain.result.cycles
+        assert observed.result.instructions == plain.result.instructions
+
+
+class TestSessionObject:
+    def test_session_without_trace_has_no_tracer(self):
+        assert ObsSession().tracer is None
+        assert ObsSession(trace=True).tracer is not None

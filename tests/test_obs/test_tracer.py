@@ -1,0 +1,113 @@
+"""Tests for the event tracer and Chrome-trace export/validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.tracer import Tracer, chrome_trace, validate_chrome_trace
+
+
+class TestRecording:
+    def test_instant_and_complete(self):
+        tracer = Tracer()
+        tracer.instant("dram-command", "ACT", ts=10, tid=3,
+                       args={"bank": 3, "row": 7})
+        tracer.complete("controller", "read", ts=10, dur=45, tid=3)
+        assert len(tracer.events) == 2
+        instant, span = tracer.events
+        assert instant["ph"] == "i" and instant["ts"] == 10
+        assert instant["args"]["row"] == 7
+        assert span["ph"] == "X" and span["dur"] == 45
+
+    def test_counter(self):
+        tracer = Tracer()
+        tracer.counter("controller", "queue", ts=5, values={"depth": 4.0})
+        assert tracer.events[0]["ph"] == "C"
+        assert tracer.events[0]["args"] == {"depth": 4.0}
+
+    def test_event_cap_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        for ts in range(5):
+            tracer.instant("cache", "l1_miss", ts)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_engine_event_noop_without_detail(self):
+        tracer = Tracer(detail=False)
+        tracer.engine_event(0, lambda: None)
+        assert tracer.events == []
+
+    def test_engine_event_categorised_by_owner(self):
+        class FakeController:
+            def tick(self):
+                pass
+
+        tracer = Tracer(detail=True)
+        tracer.engine_event(3, FakeController().tick)
+        tracer.engine_event(4, lambda: None)
+        assert tracer.events[0]["cat"] == "controller"
+        assert tracer.events[1]["cat"] == "engine"
+
+
+class TestExport:
+    def test_chrome_trace_assigns_pids_and_names(self):
+        runs = [
+            ("run-a", [{"name": "ACT", "cat": "dram-command", "ph": "i",
+                        "ts": 0, "pid": 0, "tid": 0, "s": "t"}]),
+            ("run-b", []),
+        ]
+        payload = chrome_trace(runs, dropped=2)
+        names = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in names] == ["run-a", "run-b"]
+        assert [e["pid"] for e in names] == [0, 1]
+        data_events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        assert data_events[0]["pid"] == 0
+        assert payload["otherData"]["dropped_events"] == 2
+
+    def test_write_and_validate_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.instant("cache", "l1_miss", 1)
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(path, label="unit")
+        assert validate_chrome_trace(path) == 2  # metadata + event
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"][0]["args"]["name"] == "unit"
+
+
+class TestValidation:
+    def _valid(self):
+        tracer = Tracer()
+        tracer.complete("controller", "read", ts=0, dur=10)
+        return tracer.to_chrome()
+
+    def test_accepts_own_output(self):
+        assert validate_chrome_trace(self._valid()) == 2
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            (lambda e: e.pop("name"), "name"),
+            (lambda e: e.update(ph="Z"), "phase"),
+            (lambda e: e.update(tid="zero"), "tid"),
+            (lambda e: e.update(ts=-1), "ts"),
+            (lambda e: e.pop("dur"), "dur"),
+            (lambda e: e.update(cat="bogus"), "category"),
+        ],
+    )
+    def test_rejects_malformed_events(self, mutation, message):
+        payload = self._valid()
+        event = payload["traceEvents"][1]  # the data event, not metadata
+        mutation(event)
+        with pytest.raises(ReproError, match=message):
+            validate_chrome_trace(payload)
+
+    def test_rejects_non_trace_object(self):
+        with pytest.raises(ReproError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            validate_chrome_trace(path)

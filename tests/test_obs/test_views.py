@@ -1,0 +1,50 @@
+"""Tests for profiling views derived from trace events."""
+
+import pytest
+
+from repro.dram.commands import CommandKind
+from repro.obs.tracer import Tracer
+from repro.obs.views import bandwidth_view, commands_from_trace, row_locality_view
+
+
+def _dram(tracer, ts, kind, bank=0, row=0, column=0):
+    tracer.instant("dram-command", kind.value, ts, tid=bank,
+                   args={"bank": bank, "row": row, "column": column,
+                         "pattern": 0})
+
+
+class TestCommandsFromTrace:
+    def test_rebuilds_commands(self):
+        tracer = Tracer()
+        _dram(tracer, 0, CommandKind.ACTIVATE, bank=2, row=5)
+        _dram(tracer, 10, CommandKind.READ, bank=2, column=3)
+        tracer.instant("cache", "l1_miss", 4)  # other categories ignored
+        commands = commands_from_trace(tracer.events)
+        assert len(commands) == 2
+        time, command = commands[0]
+        assert time == 0
+        assert command.kind is CommandKind.ACTIVATE
+        assert command.bank == 2 and command.row == 5
+        assert commands[1][1].column == 3
+
+    def test_unknown_names_skipped(self):
+        events = [{"name": "mystery", "cat": "dram-command", "ph": "i",
+                   "ts": 0, "pid": 0, "tid": 0, "s": "t"}]
+        assert commands_from_trace(events) == []
+
+
+class TestDerivedViews:
+    def test_views_match_profile_semantics(self):
+        tracer = Tracer()
+        _dram(tracer, 0, CommandKind.ACTIVATE, bank=0, row=1)
+        _dram(tracer, 100, CommandKind.READ, bank=0, column=0)
+        _dram(tracer, 200, CommandKind.READ, bank=0, column=1)
+        _dram(tracer, 1500, CommandKind.WRITE, bank=0, column=2)
+        locality = row_locality_view(tracer.events)
+        assert locality.mean_row_run == pytest.approx(3.0)
+        bandwidth = bandwidth_view(tracer.events, bucket_cycles=1000)
+        assert bandwidth.buckets == [128, 64]
+
+    def test_empty_trace(self):
+        assert bandwidth_view([]).total_bytes == 0
+        assert row_locality_view([]).mean_row_run == 0.0

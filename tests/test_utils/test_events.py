@@ -77,6 +77,27 @@ class TestRunControl:
         with pytest.raises(SimulationError, match="max_events"):
             engine.run(max_events=100)
 
+    def test_max_events_exact_budget_completes(self):
+        # A queue of exactly max_events must drain without raising.
+        engine = Engine()
+        log = []
+        for i in range(5):
+            engine.schedule_at(i, log.append, i)
+        engine.run(max_events=5)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_max_events_never_overshoots(self):
+        # Regression: the guard used to fire only after dispatching the
+        # (max+1)-th event, so a budget of N let N+1 callbacks run.
+        engine = Engine()
+        dispatched = []
+        for i in range(10):
+            engine.schedule_at(i, dispatched.append, i)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=4)
+        assert len(dispatched) == 4
+        assert engine.events_processed == 4
+
     def test_run_until_stops_before_time(self):
         engine = Engine()
         log = []

@@ -66,6 +66,37 @@ class TestHistogram:
             hist.observe(value)
         assert hist.buckets() == {0: 2, 10: 2, 20: 1}
 
+    def test_all_negative_maximum(self):
+        # Regression: the maximum was seeded to 0, so an all-negative
+        # population reported max 0 instead of its true maximum.
+        hist = Histogram()
+        for value in (-5, -9, -3):
+            hist.observe(value)
+        assert hist.maximum == -3
+
+    def test_empty_maximum_is_zero(self):
+        assert Histogram().maximum == 0
+
+    def test_rejects_non_int(self):
+        hist = Histogram()
+        with pytest.raises(TypeError, match="expects an int"):
+            hist.observe(1.5)
+        with pytest.raises(TypeError, match="expects an int"):
+            hist.observe("3")
+        with pytest.raises(TypeError, match="expects an int"):
+            hist.observe(True)
+        assert hist.count == 0
+
+    def test_summary(self):
+        hist = Histogram(bucket_width=10)
+        for value in (1, 2, 12):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(5.0)
+        assert summary["maximum"] == 12
+        assert summary["buckets"] == {"0": 2, "10": 1}
+
 
 class TestGeometricMean:
     def test_known(self):

@@ -17,7 +17,10 @@ silently corrupt results. This package provides:
   conservation, energy sanity) callable from tests and the
   ``repro-check`` CLI;
 - :mod:`repro.check.strategies` — seeded random trace generation plus
-  Hypothesis strategies for property tests.
+  Hypothesis strategies for property tests;
+- :mod:`repro.check.fastpath` — event-vs-fast equivalence battery
+  asserting the timing-free substrate (:mod:`repro.vec`) reproduces
+  the event machine's functional results bit for bit.
 """
 
 from repro.check.differential import (
@@ -26,6 +29,16 @@ from repro.check.differential import (
     differential_configs,
     run_differential,
     run_trace,
+)
+from repro.check.fastpath import (
+    FUNCTIONAL_FIELDS,
+    FastPathDivergence,
+    FastPathReport,
+    fast_configs,
+    run_fastpath,
+    run_grid_equivalence,
+    run_sweep_equivalence,
+    run_trace_equivalence,
 )
 from repro.check.invariants import (
     InvariantReport,
@@ -41,6 +54,9 @@ from repro.check.strategies import RegionSpec, TraceOp, TraceSpec, random_trace
 
 __all__ = [
     "DifferentialReport",
+    "FUNCTIONAL_FIELDS",
+    "FastPathDivergence",
+    "FastPathReport",
     "InvariantReport",
     "MemoryOracle",
     "Mismatch",
@@ -53,8 +69,13 @@ __all__ = [
     "check_shuffle_bijectivity",
     "check_timing_conservation",
     "differential_configs",
+    "fast_configs",
     "random_trace",
     "run_all_invariants",
     "run_differential",
+    "run_fastpath",
+    "run_grid_equivalence",
+    "run_sweep_equivalence",
     "run_trace",
+    "run_trace_equivalence",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import argparse
 
 from repro.check.differential import run_differential
+from repro.check.fastpath import run_fastpath
 from repro.check.invariants import run_all_invariants
 
 
@@ -43,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-invariants", action="store_true",
         help="run only the differential sweep",
     )
+    parser.add_argument(
+        "--skip-fastpath", action="store_true",
+        help="skip the event-vs-fast equivalence battery",
+    )
     return parser
 
 
@@ -65,6 +70,16 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render())
         if not report.ok:
             failures += len(report.mismatches)
+
+    if not args.skip_fastpath:
+        report = run_fastpath(
+            traces_per_config=max(1, args.traces // 2),
+            seed=args.seed,
+            max_ops=args.max_ops,
+        )
+        print(report.render())
+        if not report.ok:
+            failures += len(report.divergences)
 
     if failures:
         print(f"repro-check: FAILED ({failures} violations)")

@@ -1,0 +1,348 @@
+"""Fast-path equivalence: the timing-free substrate vs the event machine.
+
+The fast path (:mod:`repro.vec`) claims *bit-identical functional
+results* on its supported configurations — not approximately equal, not
+statistically close. This module makes that claim falsifiable on three
+levels, mirroring how the differential oracle treats the timed machine:
+
+1. **Random traces** (:func:`run_trace_pair`) — the differential
+   generator's traces run on :class:`repro.sim.System` and
+   :class:`repro.vec.fastpath.FastSystem` side by side; every loaded
+   value, the final memory images, the functional result fields, and
+   the full controller / cache statistic dictionaries must be equal.
+2. **Pattern sweep** (:func:`run_sweep_equivalence`) — the fig7-style
+   strided-scan sweep in both :func:`repro.harness.patternscan` modes;
+   hit/miss totals, gathered-value digests, and per-bank row-locality
+   profiles must be equal.
+3. **Ablation grid** (:func:`run_grid_equivalence`) — an abl-3-shaped
+   transactions + analytics grid across layouts and table sizes, run
+   through the real drivers in both modes; functional counts and
+   verified answers must be equal.
+
+:func:`run_fastpath` bundles the three for the ``repro-check`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.differential import differential_configs, _initial_bytes
+from repro.check.strategies import TraceSpec, random_trace
+from repro.cpu.isa import Compute, Load, Store
+from repro.db.engine import run_analytics, run_transactions
+from repro.db.workload import AnalyticsQuery, TransactionMix
+from repro.errors import ReproError
+from repro.perf.specs import make_layout
+from repro.sim.config import SystemConfig
+from repro.sim.system import System
+from repro.vec.fastpath import FastSystem, fast_supported
+
+#: RunResult fields the fast path must reproduce exactly. Timing
+#: outputs (cycles, energy, queue delays, engine events) are excluded
+#: by design: the fast path defines them as zero.
+FUNCTIONAL_FIELDS = (
+    "instructions",
+    "loads",
+    "stores",
+    "l1_hits",
+    "l1_misses",
+    "l2_hits",
+    "l2_misses",
+    "dram_reads",
+    "dram_writes",
+    "row_hits",
+    "row_misses",
+    "prefetches",
+    "coherence_invalidations",
+    "writebacks",
+)
+
+
+@dataclass
+class FastPathDivergence:
+    """One observed event-vs-fast difference."""
+
+    where: str  # which comparison (trace/sweep/grid + point label)
+    what: str  # which observable differed, with both values
+
+    def render(self) -> str:
+        return f"{self.where}: {self.what}"
+
+
+@dataclass
+class FastPathReport:
+    """Aggregated outcome of the fast-path equivalence battery."""
+
+    runs: int = 0
+    values_compared: int = 0
+    fields_compared: int = 0
+    divergences: list[FastPathDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def merge(self, other: "FastPathReport") -> None:
+        self.runs += other.runs
+        self.values_compared += other.values_compared
+        self.fields_compared += other.fields_compared
+        self.divergences.extend(other.divergences)
+
+    def render(self) -> str:
+        status = "OK" if self.ok else f"{len(self.divergences)} DIVERGENCES"
+        lines = [
+            f"fastpath: {self.runs} event/fast run pairs, "
+            f"{self.values_compared} values and {self.fields_compared} "
+            f"stat fields compared, {status}"
+        ]
+        lines.extend(f"  {d.render()}" for d in self.divergences[:20])
+        return "\n".join(lines)
+
+
+def _compare_result_fields(
+    where: str, event_result, fast_result, report: FastPathReport
+) -> None:
+    for name in FUNCTIONAL_FIELDS:
+        report.fields_compared += 1
+        a, b = getattr(event_result, name), getattr(fast_result, name)
+        if a != b:
+            report.divergences.append(
+                FastPathDivergence(where, f"{name}: event={a} fast={b}")
+            )
+
+
+def _compare_stat_dicts(
+    where: str, component: str, event_stats: dict, fast_stats: dict,
+    report: FastPathReport,
+) -> None:
+    for key in sorted(set(event_stats) | set(fast_stats)):
+        report.fields_compared += 1
+        a, b = event_stats.get(key, 0), fast_stats.get(key, 0)
+        if a != b:
+            report.divergences.append(
+                FastPathDivergence(
+                    where, f"{component}.{key}: event={a} fast={b}"
+                )
+            )
+
+
+def fast_configs() -> list[SystemConfig]:
+    """The fast-compatible subset of the differential config sweep."""
+    return [c for c in differential_configs() if fast_supported(c)]
+
+
+# ----------------------------------------------------------------------
+# 1. Random traces: System vs FastSystem, full-state comparison
+# ----------------------------------------------------------------------
+def run_trace_pair(config: SystemConfig, trace: TraceSpec) -> FastPathReport:
+    """Run one trace on both substrates and diff everything observable."""
+    report = FastPathReport(runs=1)
+    where = f"trace seed={trace.seed}"
+
+    def execute(system):
+        line_bytes = system.module.line_bytes
+        bases = []
+        for index, region in enumerate(trace.regions):
+            base = system.pattmalloc(
+                region.lines * line_bytes,
+                shuffle=region.shuffled,
+                pattern=region.alt_pattern,
+            )
+            system.mem_write(
+                base, _initial_bytes(trace.seed, index, region.lines * line_bytes)
+            )
+            bases.append(base)
+        loaded: list[bytes] = []
+
+        def ops():
+            for op in trace.ops_for_core(0):
+                if op.kind == "compute":
+                    yield Compute(op.cycles)
+                    continue
+                address = bases[op.region] + op.line * line_bytes + op.offset
+                if op.kind == "load":
+                    yield Load(address, size=op.size, pattern=op.pattern,
+                               on_value=loaded.append)
+                else:
+                    yield Store(address, op.payload, pattern=op.pattern)
+
+        result = system.run([ops()])
+        images = [
+            system.mem_read(base, region.lines * line_bytes)
+            for base, region in zip(bases, trace.regions)
+        ]
+        stats = {
+            "controller": dict(system.controller.stats.as_dict()),
+            "l1": dict(system.hierarchy.l1s[0].stats.as_dict()),
+            "l2": dict(system.hierarchy.l2.stats.as_dict()),
+            "hierarchy": dict(system.hierarchy.stats.as_dict()),
+        }
+        return result, loaded, images, stats
+
+    try:
+        event_result, event_loaded, event_images, event_stats = execute(
+            System(config)
+        )
+        fast_result, fast_loaded, fast_images, fast_stats = execute(
+            FastSystem(config)
+        )
+    except ReproError as error:
+        report.divergences.append(
+            FastPathDivergence(
+                where, f"raised {type(error).__name__}: {error}"
+            )
+        )
+        return report
+
+    if len(event_loaded) != len(fast_loaded):
+        report.divergences.append(
+            FastPathDivergence(
+                where,
+                f"load count: event={len(event_loaded)} fast={len(fast_loaded)}",
+            )
+        )
+    else:
+        for index, (a, b) in enumerate(zip(event_loaded, fast_loaded)):
+            report.values_compared += 1
+            if a != b:
+                report.divergences.append(
+                    FastPathDivergence(
+                        where,
+                        f"load #{index}: event={a.hex()} fast={b.hex()}",
+                    )
+                )
+    for index, (a, b) in enumerate(zip(event_images, fast_images)):
+        report.values_compared += 1
+        if a != b:
+            report.divergences.append(
+                FastPathDivergence(where, f"memory image of region {index}")
+            )
+    _compare_result_fields(where, event_result, fast_result, report)
+    for component in ("controller", "l1", "l2", "hierarchy"):
+        _compare_stat_dicts(
+            where, component, event_stats[component], fast_stats[component],
+            report,
+        )
+    return report
+
+
+def run_trace_equivalence(
+    traces_per_config: int = 8,
+    seed: int = 4811,
+    max_ops: int = 48,
+    configs: list[SystemConfig] | None = None,
+) -> FastPathReport:
+    """Random-trace stage over every fast-compatible config."""
+    configs = fast_configs() if configs is None else configs
+    report = FastPathReport()
+    for config_index, config in enumerate(configs):
+        for trace_index in range(traces_per_config):
+            trace_seed = seed + 10_000 * config_index + trace_index
+            trace = random_trace(trace_seed, config, max_ops=max_ops)
+            report.merge(run_trace_pair(config, trace))
+    return report
+
+
+# ----------------------------------------------------------------------
+# 2. Pattern sweep: run_patternscan in both modes
+# ----------------------------------------------------------------------
+def run_sweep_equivalence(lines: int = 256) -> FastPathReport:
+    """The fig7-style strided sweep: counts, values digest, row profile."""
+    from repro.harness.patternscan import SWEEP_STRIDES, VARIANTS, run_patternscan
+
+    report = FastPathReport()
+    for variant in VARIANTS:
+        for stride in SWEEP_STRIDES:
+            report.runs += 1
+            where = f"sweep {variant} stride={stride}"
+            event = run_patternscan(variant, stride, lines=lines, mode="event")
+            fast = run_patternscan(variant, stride, lines=lines, mode="fast")
+            _compare_result_fields(where, event.result, fast.result, report)
+            for name in ("answer", "verified", "values_digest"):
+                report.values_compared += 1
+                a, b = getattr(event, name), getattr(fast, name)
+                if a != b:
+                    report.divergences.append(
+                        FastPathDivergence(where, f"{name}: event={a} fast={b}")
+                    )
+            report.values_compared += 1
+            if event.row_profile != fast.row_profile:
+                report.divergences.append(
+                    FastPathDivergence(
+                        where,
+                        f"row_profile: event={event.row_profile} "
+                        f"fast={fast.row_profile}",
+                    )
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# 3. Ablation grid: the real DB drivers in both modes
+# ----------------------------------------------------------------------
+def run_grid_equivalence(
+    sizes: tuple[int, ...] = (1024, 4096),
+    transactions: int = 100,
+) -> FastPathReport:
+    """An abl-3-shaped layouts x sizes grid through the DB drivers."""
+    report = FastPathReport()
+    mix = TransactionMix(4, 2, 2)
+    query = AnalyticsQuery((0,))
+    for layout_name in ("Row Store", "Column Store", "GS-DRAM"):
+        for tuples in sizes:
+            for workload in ("txn", "anl"):
+                report.runs += 1
+                where = f"grid {layout_name} {workload} tuples={tuples}"
+                if workload == "txn":
+                    event = run_transactions(
+                        make_layout(layout_name), mix,
+                        num_tuples=tuples, count=transactions,
+                    )
+                    fast = run_transactions(
+                        make_layout(layout_name), mix,
+                        num_tuples=tuples, count=transactions, mode="fast",
+                    )
+                else:
+                    event = run_analytics(
+                        make_layout(layout_name), query, num_tuples=tuples
+                    )
+                    fast = run_analytics(
+                        make_layout(layout_name), query,
+                        num_tuples=tuples, mode="fast",
+                    )
+                _compare_result_fields(where, event.result, fast.result, report)
+                report.values_compared += 1
+                if event.verified != fast.verified:
+                    report.divergences.append(
+                        FastPathDivergence(
+                            where,
+                            f"verified: event={event.verified} "
+                            f"fast={fast.verified}",
+                        )
+                    )
+                if workload == "anl":
+                    report.values_compared += 1
+                    if event.answer != fast.answer:
+                        report.divergences.append(
+                            FastPathDivergence(
+                                where,
+                                f"answer: event={event.answer} "
+                                f"fast={fast.answer}",
+                            )
+                        )
+    return report
+
+
+def run_fastpath(
+    traces_per_config: int = 8,
+    seed: int = 4811,
+    max_ops: int = 48,
+    sweep_lines: int = 256,
+) -> FastPathReport:
+    """The full fast-path battery (traces + sweep + grid)."""
+    report = run_trace_equivalence(
+        traces_per_config=traces_per_config, seed=seed, max_ops=max_ops
+    )
+    report.merge(run_sweep_equivalence(lines=sweep_lines))
+    report.merge(run_grid_equivalence())
+    return report

@@ -24,19 +24,32 @@ from repro.db.workload import (
     generate_transactions,
     make_rows,
 )
-from repro.errors import WorkloadError
+from repro.errors import ConfigError, WorkloadError
 from repro.sim.config import SystemConfig, plain_dram_config, table1_config
 from repro.sim.results import RunResult
 from repro.sim.system import System
 
 
 def system_for(layout: StorageLayout, cores: int = 1, prefetch: bool = False,
-               **overrides) -> System:
-    """A machine matched to the layout's substrate."""
+               mode: str = "event", **overrides):
+    """A machine matched to the layout's substrate.
+
+    ``mode="fast"`` builds a :class:`repro.vec.fastpath.FastSystem`
+    (same caches and DRAM module, timing-free controller) instead of
+    the event-driven :class:`System`; it raises
+    :class:`~repro.errors.ConfigError` for configurations whose
+    functional behaviour depends on timing (see docs/PERFORMANCE.md).
+    """
     if isinstance(layout, GSDRAMStore):
         config = table1_config(cores=cores, prefetch=prefetch, **overrides)
     else:
         config = plain_dram_config(cores=cores, prefetch=prefetch, **overrides)
+    if mode == "fast":
+        from repro.vec.fastpath import FastSystem
+
+        return FastSystem(config)
+    if mode != "event":
+        raise ConfigError(f"unknown run mode {mode!r}")
     return System(config)
 
 
@@ -58,6 +71,7 @@ def run_transactions(
     seed: int = 42,
     prefetch: bool = False,
     config_overrides: dict | None = None,
+    mode: str = "event",
 ) -> TransactionRun:
     """Execute ``count`` transactions of one i-j-k mix on ``layout``."""
     schema = layout.schema
@@ -66,7 +80,8 @@ def run_transactions(
     txns = generate_transactions(schema, num_tuples, mix, count, seed)
     expected_reads = oracle.apply_all(txns)
 
-    system = system_for(layout, prefetch=prefetch, **(config_overrides or {}))
+    system = system_for(layout, prefetch=prefetch, mode=mode,
+                        **(config_overrides or {}))
     layout.attach(system, num_tuples)
     layout.load_rows(rows)
 
@@ -95,6 +110,7 @@ def run_analytics(
     num_tuples: int = 8192,
     prefetch: bool = False,
     config_overrides: dict | None = None,
+    mode: str = "event",
 ) -> AnalyticsRun:
     """Sum the queried columns on ``layout``."""
     schema = layout.schema
@@ -102,7 +118,8 @@ def run_analytics(
     oracle = OracleTable(schema, rows)
     expected = oracle.column_sum(query)
 
-    system = system_for(layout, prefetch=prefetch, **(config_overrides or {}))
+    system = system_for(layout, prefetch=prefetch, mode=mode,
+                        **(config_overrides or {}))
     layout.attach(system, num_tuples)
     layout.load_rows(rows)
 

@@ -22,6 +22,11 @@ from repro.harness.fig11_htap import run_figure11
 from repro.harness.fig12_summary import run_figure12
 from repro.harness.fig13_gemm import run_figure13
 from repro.harness.fw_autopattern import run_autopattern_experiment
+from repro.harness.patternscan import (
+    PatternScanRun,
+    pattern_sweep_specs,
+    run_patternscan,
+)
 from repro.harness.sec53_apps import run_graph_experiment, run_kvstore_experiment
 from repro.harness.sweeps import (
     sweep_l2_size,
@@ -34,8 +39,10 @@ __all__ = [
     "FULL",
     "MECHANISMS",
     "PAPER_FIGURE7",
+    "PatternScanRun",
     "QUICK",
     "Scale",
+    "pattern_sweep_specs",
     "computed_figure7",
     "current_scale",
     "exact_columns_match",
@@ -52,6 +59,7 @@ __all__ = [
     "run_channel_ablation",
     "run_impulse_ablation",
     "run_pattern_sweep",
+    "run_patternscan",
     "run_scaling_ablation",
     "run_scheduler_ablation",
     "run_shuffle_ablation",

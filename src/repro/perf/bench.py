@@ -35,6 +35,9 @@ from repro.perf.specs import RunSpec
 
 DEFAULT_RESULTS_DIR = pathlib.Path("benchmarks/results")
 DEFAULT_THRESHOLD = 0.15
+#: Lines per strided-sweep point in the event-vs-fast bench cases
+#: (fixed across scales so recorded speedups are comparable over time).
+SWEEP_LINES = 1024
 
 
 @dataclass
@@ -56,6 +59,7 @@ def bench_cases(scale) -> list[BenchCase]:
     stays honest.
     """
     from repro.harness.fig7_patterns import render_figure7
+    from repro.harness.patternscan import pattern_sweep_specs
     from repro.harness.specsets import SPEC_FIGURES, figure_specs
 
     case_names = {
@@ -75,6 +79,23 @@ def bench_cases(scale) -> list[BenchCase]:
                 ],
             )
         )
+    # The same strided sweep on both substrates: the wall-clock ratio is
+    # the recorded fast-path speedup (see docs/PERFORMANCE.md), and the
+    # equivalence of the two results is asserted by repro.check.fastpath.
+    cases.append(
+        BenchCase(
+            "fig7-sweep-event",
+            specs=pattern_sweep_specs(lines=SWEEP_LINES, mode="event",
+                                      obs="metrics"),
+        )
+    )
+    cases.append(
+        BenchCase(
+            "fig7-sweep-fast",
+            specs=pattern_sweep_specs(lines=SWEEP_LINES, mode="fast",
+                                      obs="metrics"),
+        )
+    )
     return cases
 
 
@@ -247,6 +268,18 @@ def run_bench(
         if scratch is not None:
             scratch.cleanup()
 
+    by_name = {case["name"]: case for case in cases_out}
+    fastpath = None
+    if "fig7-sweep-event" in by_name and "fig7-sweep-fast" in by_name:
+        event_wall = by_name["fig7-sweep-event"]["wall_s"]
+        fast_wall = by_name["fig7-sweep-fast"]["wall_s"]
+        fastpath = {
+            "sweep_lines": SWEEP_LINES,
+            "event_wall_s": event_wall,
+            "fast_wall_s": fast_wall,
+            "speedup": event_wall / fast_wall if fast_wall else None,
+        }
+
     payload = {
         "schema": 2,  # 2: attribution sourced from the metrics registry
         "timestamp": datetime.datetime.now().isoformat(timespec="seconds"),
@@ -255,6 +288,7 @@ def run_bench(
         "machine": machine_fingerprint(),
         "code_version": code_version(),
         "cases": cases_out,
+        "fastpath": fastpath,
         "cache": dict(cache.stats, hit_rate=cache.hit_rate),
         "totals": {
             "wall_s": total_wall,
@@ -309,6 +343,13 @@ def render_summary(payload: dict) -> str:
         f"{totals['events_per_s']:,.0f} events/s, "
         f"cache hit rate {payload['cache']['hit_rate']:.0%}"
     )
+    fastpath = payload.get("fastpath")
+    if fastpath and fastpath.get("speedup"):
+        lines.append(
+            f"  fast path: {fastpath['speedup']:.1f}x vs event sweep "
+            f"({fastpath['event_wall_s']:.3f}s -> "
+            f"{fastpath['fast_wall_s']:.3f}s)"
+        )
     verdict = payload.get("regression_check")
     if verdict:
         status = verdict["status"]

@@ -26,7 +26,8 @@ class RunSpec:
     """One independent simulation run, by value.
 
     ``kind`` selects the driver (``transactions`` / ``analytics`` /
-    ``htap`` / ``gemm``), ``layout`` names a storage layout from
+    ``htap`` / ``gemm`` / ``patternscan``), ``layout`` names a storage
+    layout from
     :func:`make_layout`, ``params`` are the driver's keyword arguments,
     and ``seed`` pins the workload generator.
 
@@ -37,6 +38,12 @@ class RunSpec:
     Because ``obs`` is part of the canonical form, it is part of the
     cache key: a traced request is never served from an untraced cache
     entry, and vice versa.
+
+    ``mode`` selects the execution substrate: ``"event"`` (default, the
+    full timed machine) or ``"fast"`` (the timing-free fast path of
+    :mod:`repro.vec` — identical functional counts, zero cycles; see
+    docs/PERFORMANCE.md). Like ``obs`` it is part of the cache key, so
+    fast and event results never collide in the result cache.
     """
 
     kind: str
@@ -45,12 +52,17 @@ class RunSpec:
     config_overrides: dict = field(default_factory=dict)
     seed: int | None = None
     obs: str = "off"
+    mode: str = "event"
 
     def __post_init__(self) -> None:
         if self.obs not in ("off", "metrics", "trace", "trace-detail"):
             raise ConfigError(
                 f"unknown obs mode {self.obs!r}; expected 'off', "
                 "'metrics', 'trace', or 'trace-detail'"
+            )
+        if self.mode not in ("event", "fast"):
+            raise ConfigError(
+                f"unknown run mode {self.mode!r}; expected 'event' or 'fast'"
             )
 
 
@@ -143,6 +155,11 @@ def _execute_driver(spec: RunSpec) -> Any:
     from repro.db.workload import AnalyticsQuery, TransactionMix
 
     params = dict(spec.params)
+    if spec.mode == "fast" and spec.kind in ("htap", "gemm"):
+        raise ConfigError(
+            f"kind {spec.kind!r} has no fast path (multi-core / "
+            "cycle-dependent output); use mode='event'"
+        )
     if spec.kind == "transactions":
         mix = params.pop("mix")
         if not isinstance(mix, TransactionMix):
@@ -153,6 +170,7 @@ def _execute_driver(spec: RunSpec) -> Any:
             make_layout(spec.layout),
             mix,
             config_overrides=dict(spec.config_overrides),
+            mode=spec.mode,
             **params,
         )
     if spec.kind == "analytics":
@@ -163,6 +181,17 @@ def _execute_driver(spec: RunSpec) -> Any:
             make_layout(spec.layout),
             query,
             config_overrides=dict(spec.config_overrides),
+            mode=spec.mode,
+            **params,
+        )
+    if spec.kind == "patternscan":
+        from repro.harness.patternscan import run_patternscan
+
+        return run_patternscan(
+            params.pop("variant"),
+            params.pop("stride"),
+            config_overrides=dict(spec.config_overrides),
+            mode=spec.mode,
             **params,
         )
     if spec.kind == "htap":

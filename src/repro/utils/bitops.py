@@ -49,13 +49,31 @@ def insert_bits(value: int, low: int, count: int, field: int) -> int:
     return cleared | (field << low)
 
 
+#: Bit-reversal of every 8-bit value, built once at import. Reversing a
+#: wide value is then byte-table lookups + shifts instead of a Python
+#: loop over individual bits.
+_REVERSED_BYTE = bytes(
+    sum(((byte >> bit) & 1) << (7 - bit) for bit in range(8))
+    for byte in range(256)
+)
+
+
 def reverse_bits(value: int, width: int) -> int:
-    """Reverse the low ``width`` bits of ``value``."""
+    """Reverse the low ``width`` bits of ``value``.
+
+    >>> reverse_bits(0b001, 3)
+    4
+    """
+    if width <= 0:
+        return 0
+    # Reverse whole bytes via the table, then drop the padding that
+    # rounding ``width`` up to a byte boundary introduced at the bottom.
+    value &= mask(width)
+    padded = (width + 7) & ~7
     result = 0
-    for _ in range(width):
-        result = (result << 1) | (value & 1)
-        value >>= 1
-    return result
+    for low in range(0, padded, 8):
+        result = (result << 8) | _REVERSED_BYTE[(value >> low) & 0xFF]
+    return result >> (padded - width)
 
 
 def popcount(value: int) -> int:

@@ -1,0 +1,69 @@
+"""Numpy-vectorized batch kernels and the fast-path replay model.
+
+The GS-DRAM mechanisms are tiny bitwise functions — the shuffle is an
+XOR butterfly, the column translation logic an AND + XOR — but the
+figure sweeps evaluate them per access in pure Python. This package
+batches that math over whole ``numpy`` int64 arrays:
+
+- :mod:`repro.vec.kernels` — array variants of the shuffle, the CTL
+  translation, gather-address assembly, DRAM address (de)composition,
+  and bit utilities. The scalar functions in :mod:`repro.core.shuffle`,
+  :mod:`repro.core.pattern`, :mod:`repro.core.ctl`, and
+  :mod:`repro.utils.bitops` remain the reference implementations.
+- :mod:`repro.vec.replay` — a batched trace-replay cache model
+  (set/tag/LRU-stamp arrays, pattern ID in the tag per Section 4.1)
+  plus vectorized row-hit/bank-conflict analytics.
+- :mod:`repro.vec.fastpath` — :class:`FastSystem`, a drop-in for
+  :class:`repro.sim.System` that runs the *same* cache hierarchy with
+  an immediate (timing-free) memory controller, for workloads whose
+  functional results do not depend on timing.
+
+Equivalence with the event-driven model is enforced by
+:mod:`repro.check.fastpath` (see docs/PERFORMANCE.md).
+"""
+
+from repro.vec.fastpath import FastSystem, assert_fast_compatible, fast_supported
+from repro.vec.kernels import (
+    ctl_translate,
+    decompose_addresses,
+    effective_chip_ids,
+    encode_addresses,
+    gather_addresses_batch,
+    gathered_value_indices,
+    reverse_bits_array,
+    shuffle_keys,
+    shuffle_lines,
+    unshuffle_lines,
+    xor_fold_array,
+)
+from repro.vec.replay import (
+    AccessTrace,
+    ReplayCache,
+    RowProfile,
+    dedupe_consecutive,
+    replay_two_level,
+    row_locality,
+)
+
+__all__ = [
+    "AccessTrace",
+    "FastSystem",
+    "ReplayCache",
+    "RowProfile",
+    "assert_fast_compatible",
+    "ctl_translate",
+    "decompose_addresses",
+    "dedupe_consecutive",
+    "effective_chip_ids",
+    "encode_addresses",
+    "fast_supported",
+    "gather_addresses_batch",
+    "gathered_value_indices",
+    "replay_two_level",
+    "reverse_bits_array",
+    "row_locality",
+    "shuffle_keys",
+    "shuffle_lines",
+    "unshuffle_lines",
+    "xor_fold_array",
+]

@@ -71,7 +71,16 @@ class TestBenchCases:
     def test_covers_every_figure_family(self):
         names = {case.name for case in bench_cases(scale_by_name("quick"))}
         assert names == {"fig7-patterns", "fig9-transactions",
-                         "fig10-analytics", "fig11-htap", "fig13-gemm"}
+                         "fig10-analytics", "fig11-htap", "fig13-gemm",
+                         "fig7-sweep-event", "fig7-sweep-fast"}
+
+    def test_sweep_cases_differ_only_in_mode(self):
+        cases = {case.name: case for case in bench_cases(scale_by_name("quick"))}
+        event = cases["fig7-sweep-event"].specs
+        fast = cases["fig7-sweep-fast"].specs
+        assert [s.params for s in event] == [s.params for s in fast]
+        assert {s.mode for s in event} == {"event"}
+        assert {s.mode for s in fast} == {"fast"}
 
     def test_spec_cases_are_cache_keyable(self):
         from repro.perf import cache_key
@@ -92,7 +101,8 @@ class TestRunBench:
             scale_name="quick", jobs=1, results_dir=results
         )
         assert code == 0  # no baseline yet: nothing to regress against
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
+        assert payload["fastpath"]["speedup"] > 1.0
         assert payload["scale"] == "quick"
         assert payload["totals"]["wall_s"] > 0
         assert payload["totals"]["events"] > 0

@@ -60,6 +60,18 @@ class TestCacheKey:
         with pytest.raises(ConfigError):
             cache_key(spec)
 
+    def test_mode_is_significant(self):
+        event = RunSpec(kind="analytics", layout="GS-DRAM",
+                        params={"query": (0,), "num_tuples": 512})
+        fast = RunSpec(kind="analytics", layout="GS-DRAM",
+                       params={"query": (0,), "num_tuples": 512},
+                       mode="fast")
+        assert cache_key(event) != cache_key(fast)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            RunSpec(kind="analytics", mode="approximate")
+
 
 class TestMakeLayout:
     @pytest.mark.parametrize("cls", [RowStore, ColumnStore, GSDRAMStore])
@@ -106,3 +118,28 @@ class TestExecuteSpec:
         second = execute_spec(spec)
         assert first.verified
         assert first == second  # seeded => bit-identical records
+
+    def test_patternscan_dispatch(self):
+        record = execute_spec(
+            RunSpec(kind="patternscan",
+                    params={"variant": "gathered", "stride": 4, "lines": 64},
+                    mode="fast")
+        )
+        assert record.verified
+        assert record.result.extra["fast_path"] == 1.0
+
+    def test_fast_mode_runs_db_drivers(self):
+        record = execute_spec(
+            RunSpec(kind="analytics", layout="GS-DRAM",
+                    params={"query": (0,), "num_tuples": 256}, mode="fast")
+        )
+        assert record.verified
+        assert record.result.cycles == 0
+
+    @pytest.mark.parametrize("kind,params", [
+        ("htap", {}),
+        ("gemm", {"variant": "direct", "n": 8}),
+    ])
+    def test_fast_mode_rejected_for_cycle_dependent_kinds(self, kind, params):
+        with pytest.raises(ConfigError):
+            execute_spec(RunSpec(kind=kind, params=params, mode="fast"))

@@ -68,6 +68,15 @@ class TestExtractInsert:
         assert bitops.extract_bits(combined, low, count) == field
 
 
+def _reverse_bits_loop(value: int, width: int) -> int:
+    """The pre-byte-table implementation, pinned here as the reference."""
+    result = 0
+    for i in range(width):
+        if value >> i & 1:
+            result |= 1 << (width - 1 - i)
+    return result
+
+
 class TestReverseBits:
     def test_known(self):
         assert bitops.reverse_bits(0b001, 3) == 0b100
@@ -78,6 +87,23 @@ class TestReverseBits:
     )
     def test_involution(self, value, width):
         assert bitops.reverse_bits(bitops.reverse_bits(value, width), width) == value
+
+    def test_matches_original_loop_dense(self):
+        for width in (1, 3, 7, 8, 9, 16):
+            for value in range(1 << min(width, 10)):
+                assert bitops.reverse_bits(value, width) == _reverse_bits_loop(
+                    value, width
+                )
+
+    @given(
+        value=st.integers(min_value=0, max_value=(1 << 40) - 1),
+        width=st.integers(min_value=1, max_value=40),
+    )
+    def test_matches_original_loop(self, value, width):
+        value &= bitops.mask(width)
+        assert bitops.reverse_bits(value, width) == _reverse_bits_loop(
+            value, width
+        )
 
 
 class TestPopcount:

@@ -1,0 +1,323 @@
+"""Vectorized kernels vs their scalar reference implementations.
+
+Every kernel in :mod:`repro.vec.kernels` has a scalar form elsewhere in
+the tree; these tests replay both over dense grids and seeded random
+batches and require element-wise agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.oracle import MemoryOracle
+from repro.core.ctl import ColumnTranslationLogic
+from repro.core.pattern import gathered_values
+from repro.core.shuffle import shuffle, shuffle_key, shuffle_stagewise
+from repro.dram.address import AddressMapping, Geometry, MappingPolicy
+from repro.errors import AddressError, ConfigError, PatternError
+from repro.utils import bitops
+from repro.vec import kernels
+
+
+class TestShuffleKernels:
+    def test_keys_match_scalar(self):
+        columns = np.arange(128)
+        for stages in range(4):
+            keys = kernels.shuffle_keys(columns, stages)
+            assert keys.tolist() == [
+                shuffle_key(int(c), stages) for c in columns
+            ]
+
+    def test_negative_stages_rejected(self):
+        with pytest.raises(ConfigError):
+            kernels.shuffle_keys([0, 1], -1)
+
+    @pytest.mark.parametrize("chips,stages", [(8, 3), (8, 2), (4, 2), (2, 1)])
+    def test_lines_match_closed_form(self, chips, stages):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 1 << 30, size=(64, chips), dtype=np.int64)
+        columns = rng.integers(0, 128, size=64, dtype=np.int64)
+        shuffled = kernels.shuffle_lines(values, columns, stages)
+        for i in range(values.shape[0]):
+            assert shuffled[i].tolist() == shuffle(
+                values[i].tolist(), int(columns[i]), stages
+            )
+
+    def test_lines_match_stagewise_butterfly(self):
+        # The stage-by-stage hardware datapath must agree with the batch
+        # closed form, not just the scalar closed form.
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 1 << 30, size=(32, 8), dtype=np.int64)
+        columns = rng.integers(0, 128, size=32, dtype=np.int64)
+        shuffled = kernels.shuffle_lines(values, columns, 3)
+        for i in range(values.shape[0]):
+            control = shuffle_key(int(columns[i]), 3)
+            assert shuffled[i].tolist() == shuffle_stagewise(
+                values[i].tolist(), control, 3
+            )
+
+    def test_unshuffle_is_inverse(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1 << 30, size=(16, 8), dtype=np.int64)
+        columns = rng.integers(0, 128, size=16, dtype=np.int64)
+        round_trip = kernels.unshuffle_lines(
+            kernels.shuffle_lines(values, columns, 3), columns, 3
+        )
+        assert np.array_equal(round_trip, values)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            kernels.shuffle_lines(np.zeros(8), np.zeros(8), 3)
+        with pytest.raises(ConfigError):
+            kernels.shuffle_lines(np.zeros((4, 8)), np.zeros(3), 3)
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(ConfigError):
+            kernels.shuffle_lines(np.zeros((1, 4)), np.asarray([7]), 3)
+
+
+class TestCTLKernels:
+    @pytest.mark.parametrize(
+        "num_chips,pattern_bits", [(8, 3), (4, 2), (8, 6), (2, 1)]
+    )
+    def test_effective_ids_match_ctl(self, num_chips, pattern_bits):
+        expected = [
+            ColumnTranslationLogic(c, num_chips, pattern_bits).effective_chip_id
+            for c in range(num_chips)
+        ]
+        computed = kernels.effective_chip_ids(
+            np.arange(num_chips), bitops.ilog2(num_chips), pattern_bits
+        )
+        assert computed.tolist() == expected
+
+    def test_translate_matches_ctl_grid(self):
+        num_chips, pattern_bits, columns_per_row = 8, 3, 32
+        ctls = [
+            ColumnTranslationLogic(c, num_chips, pattern_bits)
+            for c in range(num_chips)
+        ]
+        patterns = np.arange(1 << pattern_bits)
+        columns = np.arange(columns_per_row)
+        grid = kernels.ctl_translate(
+            np.arange(num_chips)[None, None, :],
+            patterns[:, None, None],
+            columns[None, :, None],
+            num_chips=num_chips,
+            pattern_bits=pattern_bits,
+            columns_per_row=columns_per_row,
+        )
+        for p in patterns:
+            for c in columns:
+                expected = [ctl.translate(int(c), int(p)) for ctl in ctls]
+                assert grid[p, c].tolist() == expected
+
+    def test_wide_pattern_translate(self):
+        # Section 6.2: pattern wider than the chip ID.
+        num_chips, pattern_bits = 8, 6
+        ctls = [
+            ColumnTranslationLogic(c, num_chips, pattern_bits)
+            for c in range(num_chips)
+        ]
+        out = kernels.ctl_translate(
+            np.arange(num_chips),
+            np.full(num_chips, 0b101101),
+            np.full(num_chips, 9),
+            num_chips=num_chips,
+            pattern_bits=pattern_bits,
+        )
+        assert out.tolist() == [ctl.translate(9, 0b101101) for ctl in ctls]
+
+    def test_pattern_overflow_rejected(self):
+        with pytest.raises(PatternError):
+            kernels.ctl_translate(
+                [0], [8], [0], num_chips=8, pattern_bits=3
+            )
+
+    def test_column_overflow_rejected(self):
+        with pytest.raises(AddressError):
+            kernels.ctl_translate(
+                [0], [0], [128], num_chips=8, pattern_bits=3,
+                columns_per_row=128,
+            )
+
+    def test_gathered_value_indices_match_scalar(self):
+        chips = 8
+        patterns = np.arange(8).repeat(16)
+        columns = np.tile(np.arange(16), 8)
+        chip_columns, value_indices = kernels.gathered_value_indices(
+            chips, patterns, columns
+        )
+        for i in range(patterns.shape[0]):
+            expected = gathered_values(chips, int(patterns[i]), int(columns[i]))
+            assert [
+                (j, int(chip_columns[i, j]), int(value_indices[i, j]))
+                for j in range(chips)
+            ] == expected
+
+    def test_gathered_value_indices_partial_shuffle(self):
+        chips = 8
+        chip_columns, value_indices = kernels.gathered_value_indices(
+            chips, np.asarray([3]), np.asarray([5]), shuffle_mask=0b01
+        )
+        expected = gathered_values(chips, 3, 5, shuffle_mask=0b01)
+        assert [
+            (j, int(chip_columns[0, j]), int(value_indices[0, j]))
+            for j in range(chips)
+        ] == expected
+
+
+GEOMETRIES = [
+    Geometry(),
+    Geometry(chips=4, banks=4, rows_per_bank=64, columns_per_row=16),
+    Geometry(chips=2, banks=2, rows_per_bank=32, columns_per_row=8),
+]
+
+
+class TestAddressKernels:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("policy", list(MappingPolicy))
+    def test_decompose_matches_decode(self, geometry, policy):
+        mapping = AddressMapping(geometry, policy)
+        rng = np.random.default_rng(13)
+        addresses = rng.integers(
+            0, geometry.capacity_bytes, size=256, dtype=np.int64
+        )
+        fields = kernels.decompose_addresses(
+            addresses,
+            banks=geometry.banks,
+            rows_per_bank=geometry.rows_per_bank,
+            columns_per_row=geometry.columns_per_row,
+            line_bytes=geometry.line_bytes,
+            policy=policy,
+        )
+        for i, address in enumerate(addresses.tolist()):
+            decoded = mapping.decode(address)
+            assert fields["bank"][i] == decoded.bank
+            assert fields["row"][i] == decoded.row
+            assert fields["column"][i] == decoded.column
+            assert fields["offset"][i] == decoded.offset
+            assert fields["channel"][i] == 0
+            assert fields["rank"][i] == 0
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("policy", list(MappingPolicy))
+    def test_encode_round_trip(self, geometry, policy):
+        mapping = AddressMapping(geometry, policy)
+        rng = np.random.default_rng(17)
+        banks = rng.integers(0, geometry.banks, size=128, dtype=np.int64)
+        rows = rng.integers(0, geometry.rows_per_bank, size=128, dtype=np.int64)
+        columns = rng.integers(
+            0, geometry.columns_per_row, size=128, dtype=np.int64
+        )
+        encoded = kernels.encode_addresses(
+            banks, rows, columns,
+            banks=geometry.banks,
+            rows_per_bank=geometry.rows_per_bank,
+            columns_per_row=geometry.columns_per_row,
+            line_bytes=geometry.line_bytes,
+            policy=policy,
+        )
+        for i in range(banks.shape[0]):
+            assert encoded[i] == mapping.encode(
+                int(banks[i]), int(rows[i]), int(columns[i])
+            )
+
+    def test_out_of_capacity_rejected(self):
+        geometry = GEOMETRIES[1]
+        with pytest.raises(AddressError):
+            kernels.decompose_addresses(
+                [geometry.capacity_bytes],
+                banks=geometry.banks,
+                rows_per_bank=geometry.rows_per_bank,
+                columns_per_row=geometry.columns_per_row,
+                line_bytes=geometry.line_bytes,
+            )
+
+    def test_encode_range_rejected(self):
+        with pytest.raises(AddressError):
+            kernels.encode_addresses(
+                [4], [0], [0],
+                banks=4, rows_per_bank=64, columns_per_row=16,
+            )
+
+
+class TestGatherAddressesBatch:
+    @pytest.mark.parametrize(
+        "geometry,shuffle_stages,pattern_bits",
+        [
+            (GEOMETRIES[0], 3, 3),
+            (GEOMETRIES[1], 2, 2),
+            (GEOMETRIES[0], 2, 3),  # partial shuffle
+            (GEOMETRIES[2], 1, 1),
+        ],
+    )
+    def test_matches_oracle(self, geometry, shuffle_stages, pattern_bits):
+        oracle = MemoryOracle(
+            chips=geometry.chips,
+            banks=geometry.banks,
+            rows_per_bank=geometry.rows_per_bank,
+            columns_per_row=geometry.columns_per_row,
+            column_bytes=geometry.column_bytes,
+            shuffle_stages=shuffle_stages,
+            pattern_bits=pattern_bits,
+        )
+        rng = np.random.default_rng(19)
+        lines = rng.integers(
+            0, geometry.lines, size=64, dtype=np.int64
+        ) * geometry.line_bytes
+        patterns = rng.integers(0, 1 << pattern_bits, size=64, dtype=np.int64)
+        batch = kernels.gather_addresses_batch(
+            lines, patterns,
+            chips=geometry.chips,
+            banks=geometry.banks,
+            rows_per_bank=geometry.rows_per_bank,
+            columns_per_row=geometry.columns_per_row,
+            column_bytes=geometry.column_bytes,
+            shuffle_stages=shuffle_stages,
+            pattern_bits=pattern_bits,
+        )
+        for i in range(lines.shape[0]):
+            assert batch[i].tolist() == oracle.gather_addresses(
+                int(lines[i]), int(patterns[i])
+            )
+
+    def test_pattern_overflow_rejected(self):
+        geometry = GEOMETRIES[0]
+        with pytest.raises(PatternError):
+            kernels.gather_addresses_batch(
+                [0], [8],
+                chips=geometry.chips,
+                banks=geometry.banks,
+                rows_per_bank=geometry.rows_per_bank,
+                columns_per_row=geometry.columns_per_row,
+                shuffle_stages=3,
+                pattern_bits=3,
+            )
+
+
+class TestBitKernels:
+    def test_reverse_bits_matches_scalar(self):
+        rng = np.random.default_rng(23)
+        for width in (1, 3, 8, 12, 20):
+            values = rng.integers(0, 1 << width, size=64, dtype=np.int64)
+            reversed_ = kernels.reverse_bits_array(values, width)
+            assert reversed_.tolist() == [
+                bitops.reverse_bits(int(v), width) for v in values
+            ]
+
+    def test_reverse_bits_zero_width(self):
+        assert kernels.reverse_bits_array([5, 9], 0).tolist() == [0, 0]
+
+    def test_xor_fold_matches_scalar(self):
+        rng = np.random.default_rng(29)
+        values = rng.integers(0, 1 << 24, size=64, dtype=np.int64)
+        for width in (1, 3, 4, 8):
+            folded = kernels.xor_fold_array(values, width)
+            assert folded.tolist() == [
+                bitops.xor_fold(int(v), width) for v in values
+            ]
+
+    def test_xor_fold_validation(self):
+        with pytest.raises(AddressError):
+            kernels.xor_fold_array([1], 0)
+        with pytest.raises(AddressError):
+            kernels.xor_fold_array([-1], 3)

@@ -1,0 +1,172 @@
+"""The array-backed replay cache vs the real LRU cache container.
+
+The replay model claims bit-identical replacement decisions with
+:class:`repro.cache.cache.Cache` for read-only streams; these tests
+replay seeded random traces through both and compare hit masks and
+final residency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import Cache
+from repro.errors import ConfigError, PatternError
+from repro.vec.replay import (
+    AccessTrace,
+    ReplayCache,
+    dedupe_consecutive,
+    replay_two_level,
+    row_locality,
+)
+
+
+def reference_replay(trace, l1: Cache, l2: Cache):
+    """The event hierarchy's read path, on the real cache container."""
+    l1_hits, l2_hits = [], []
+    for line, pattern in trace:
+        data = bytearray(l1.line_bytes)
+        if l1.lookup(line, pattern) is not None:
+            l1_hits.append(True)
+            l2_hits.append(False)
+            continue
+        l1_hits.append(False)
+        if l2.lookup(line, pattern) is not None:
+            l2_hits.append(True)
+        else:
+            l2_hits.append(False)
+            l2.fill(line, pattern, data)
+        l1.fill(line, pattern, data)
+    return l1_hits, l2_hits
+
+
+def random_trace(seed, n=400, lines=64, patterns=4, line_bytes=64):
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, lines, size=n, dtype=np.int64) * line_bytes
+    pattern_ids = rng.integers(0, patterns, size=n, dtype=np.int64)
+    return AccessTrace(addresses, pattern_ids)
+
+
+class TestReplayCacheGeometry:
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplayCache(1000, 8)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplayCache(3 * 64 * 8, 8)
+
+    def test_set_indices_match_real_cache(self):
+        replay = ReplayCache(4096, 4)
+        real = Cache("x", 4096, 4)
+        addresses = np.arange(0, 64 * 64, 64, dtype=np.int64)
+        assert replay.set_indices(addresses).tolist() == [
+            real.set_index(int(a)) for a in addresses
+        ]
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_real_cache(self, seed):
+        trace = random_trace(seed)
+        replay_l1 = ReplayCache(1024, 2)
+        replay_l2 = ReplayCache(4096, 4)
+        l1_hits, l2_hits = replay_two_level(trace, replay_l1, replay_l2)
+
+        real_l1 = Cache("l1", 1024, 2)
+        real_l2 = Cache("l2", 4096, 4)
+        pairs = list(zip(trace.line_addresses.tolist(), trace.patterns.tolist()))
+        ref_l1, ref_l2 = reference_replay(pairs, real_l1, real_l2)
+
+        assert l1_hits.tolist() == ref_l1
+        assert l2_hits.tolist() == ref_l2
+        # Final residency must agree exactly, line by line.
+        for cache, replay in ((real_l1, replay_l1), (real_l2, replay_l2)):
+            for line in cache.resident_lines():
+                assert replay.resident(line.line_address, line.pattern)
+            assert len(cache.resident_lines()) == int(
+                (replay.tags >= 0).sum()
+            )
+
+    def test_dedupe_preserves_totals(self):
+        rng = np.random.default_rng(99)
+        # A stream with many consecutive repeats (like a strided scan
+        # touching each gathered line 8 times in a row).
+        base = rng.integers(0, 32, size=100, dtype=np.int64).repeat(8) * 64
+        trace = AccessTrace(base, np.zeros_like(base))
+
+        full_l1, full_l2 = replay_two_level(
+            trace, ReplayCache(1024, 2), ReplayCache(4096, 4)
+        )
+        keep = dedupe_consecutive(trace)
+        deduped = AccessTrace(trace.line_addresses[keep], trace.patterns[keep])
+        kept_l1, kept_l2 = replay_two_level(
+            deduped, ReplayCache(1024, 2), ReplayCache(4096, 4)
+        )
+        # Every dropped access is an L1 hit in the full replay, and the
+        # kept accesses see identical outcomes.
+        assert full_l1[~keep].all()
+        assert np.array_equal(full_l1[keep], kept_l1)
+        assert np.array_equal(full_l2[keep], kept_l2)
+
+
+class TestAccessTraceValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            AccessTrace(np.zeros(4), np.zeros(3))
+
+    def test_wide_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            AccessTrace(np.zeros(1), np.asarray([256]))
+
+    def test_tags_fold_pattern(self):
+        trace = AccessTrace(np.asarray([64]), np.asarray([5]))
+        assert trace.tags.tolist() == [(64 << 8) | 5]
+
+
+def scalar_open_row(banks, rows):
+    """Per-bank open-row state machine, the controller's bank model."""
+    open_rows = {}
+    hits = misses = activates = precharges = 0
+    for bank, row in zip(banks, rows):
+        if open_rows.get(bank) == row:
+            hits += 1
+        else:
+            if bank in open_rows:
+                precharges += 1
+            open_rows[bank] = row
+            misses += 1
+            activates += 1
+    return hits, misses, activates, precharges
+
+
+class TestRowLocality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scalar_state_machine(self, seed):
+        rng = np.random.default_rng(seed)
+        banks = rng.integers(0, 8, size=300, dtype=np.int64)
+        rows = rng.integers(0, 4, size=300, dtype=np.int64)
+        profile = row_locality(banks, rows)
+        hits, misses, activates, precharges = scalar_open_row(
+            banks.tolist(), rows.tolist()
+        )
+        assert profile.row_hits == hits
+        assert profile.row_misses == misses
+        assert profile.activates == activates
+        assert profile.precharges == precharges
+        per_bank_reads = sum(
+            counts["reads"] for counts in profile.per_bank.values()
+        )
+        assert per_bank_reads == 300
+
+    def test_empty_stream(self):
+        profile = row_locality([], [])
+        assert profile.row_hits == 0
+        assert profile.as_dict()["per_bank"] == {}
+
+    def test_single_bank_streaming(self):
+        # 4 columns of one row then a row switch: 1 ACT, 1 PRE+ACT.
+        profile = row_locality([0, 0, 0, 0, 0], [7, 7, 7, 7, 8])
+        assert profile.row_hits == 3
+        assert profile.row_misses == 2
+        assert profile.activates == 2
+        assert profile.precharges == 1

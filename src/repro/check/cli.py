@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-fastpath", action="store_true",
         help="skip the event-vs-fast equivalence battery",
     )
+    parser.add_argument(
+        "--skip-service", action="store_true",
+        help="skip the submitted-vs-direct service differential",
+    )
+    parser.add_argument(
+        "--service-lines", type=int, default=64,
+        help="patternscan size for the service differential (default: 64)",
+    )
     return parser
 
 
@@ -77,6 +85,14 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             max_ops=args.max_ops,
         )
+        print(report.render())
+        if not report.ok:
+            failures += len(report.divergences)
+
+    if not args.skip_service:
+        from repro.check.service import run_service_check
+
+        report = run_service_check(lines=args.service_lines)
         print(report.render())
         if not report.ok:
             failures += len(report.divergences)

@@ -1,0 +1,175 @@
+"""Service-level differential smoke: the HTTP door changes nothing.
+
+The serving layer (:mod:`repro.serve`) must be a transparent transport
+around :func:`repro.perf.specs.execute_spec`: a spec submitted over
+HTTP must produce a record that digests bit-identically to the same
+spec executed directly in-process, and N identical concurrent
+submissions must execute the underlying simulation exactly once.
+
+:func:`run_service_check` verifies both, per execution mode:
+
+- **fast** — a fig7-style gathered patternscan on the numpy fast path;
+- **event** — the same point on the full event-driven machine.
+
+Each spec is (1) executed directly with :func:`execute_spec`, (2)
+submitted to a private in-process server (fresh cache + no journal, so
+nothing is pre-warmed) and fetched back over the wire, and (3)
+submitted several more times to confirm coalescing/caching: the
+server's ``serve.queue`` counters must show exactly one ``executed``
+per distinct spec, with every extra submission accounted as coalesced
+or cache-hit. Digest equality uses the pinned-pickle
+:func:`repro.serve.protocol.result_digest` on both sides.
+
+Wired into ``repro check`` (skippable with ``--skip-service``) and the
+CI serve-smoke job.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.perf.cache import ResultCache
+from repro.perf.specs import RunSpec, execute_spec
+from repro.serve.protocol import result_digest
+from repro.serve.server import ServeConfig
+from repro.serve.testing import ServerThread
+
+
+@dataclass
+class ServiceDivergence:
+    label: str
+    detail: str
+
+    def render(self) -> str:
+        return f"  {self.label}: {self.detail}"
+
+
+@dataclass
+class ServiceReport:
+    checks: int = 0
+    divergences: list[ServiceDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"[service] submitted-vs-direct differential: {status} "
+            f"({self.checks} checks, {len(self.divergences)} divergences)"
+        ]
+        lines.extend(d.render() for d in self.divergences)
+        return "\n".join(lines)
+
+
+def _smoke_specs(lines: int) -> list[RunSpec]:
+    """One fast-mode and one event-mode fig7-style point."""
+    return [
+        RunSpec(
+            kind="patternscan",
+            params={"variant": "gathered", "stride": 4, "lines": lines},
+            mode="fast",
+        ),
+        RunSpec(
+            kind="patternscan",
+            params={"variant": "scalar", "stride": 2, "lines": lines},
+            mode="event",
+        ),
+    ]
+
+
+def run_service_check(
+    lines: int = 64,
+    duplicates: int = 4,
+    specs: list[RunSpec] | None = None,
+) -> ServiceReport:
+    """Run the battery against a private in-process server."""
+    report = ServiceReport()
+    specs = _smoke_specs(lines) if specs is None else specs
+    with tempfile.TemporaryDirectory(prefix="repro-service-check") as tmp:
+        cache = ResultCache(f"{tmp}/cache")
+        config = ServeConfig(
+            port=0, executor="thread", state_dir=None, workers=2,
+            request_log=False,
+        )
+        with ServerThread(config, cache=cache) as handle:
+            client = handle.client(client_id="service-check")
+            for spec in specs:
+                _check_spec(report, client, spec, duplicates)
+            _check_counters(report, client, specs, duplicates)
+    return report
+
+
+def _check_spec(report, client, spec: RunSpec, duplicates: int) -> None:
+    label = f"{spec.kind}:{spec.params.get('variant')}:{spec.mode}"
+    direct = execute_spec(spec)
+    expected = result_digest(direct)
+
+    report.checks += 1
+    response = client.submit(spec, wait=True, timeout=300.0)
+    job = response["job"]
+    if job["state"] != "done":
+        report.divergences.append(ServiceDivergence(
+            label, f"job ended {job['state']!r}: {job.get('error')}"
+        ))
+        return
+    if job["digest"] != expected:
+        report.divergences.append(ServiceDivergence(
+            label,
+            f"digest mismatch: direct={expected[:16]} "
+            f"served={str(job['digest'])[:16]}",
+        ))
+        return
+    # The payload itself must decode to a record with the same digest
+    # (transport integrity, not just server-side bookkeeping).
+    record = client.result(job["job_id"])
+    report.checks += 1
+    if result_digest(record) != expected:
+        report.divergences.append(ServiceDivergence(
+            label, "decoded wire payload digests differently"
+        ))
+        return
+
+    # Duplicate submissions, fired without waiting so they overlap any
+    # still-running execution: each must resolve to the same digest
+    # while executing nothing new (counters verified below). Whether a
+    # given duplicate coalesces onto an in-flight job or lands a fresh
+    # job served from the cache depends on timing; both paths are
+    # "reused", and neither may re-run the simulation.
+    pending = [
+        client.submit(spec, wait=False)["job"]["job_id"]
+        for _ in range(duplicates)
+    ]
+    for job_id in pending:
+        report.checks += 1
+        job = client.wait(job_id, timeout=300.0)
+        if job["state"] != "done" or job["digest"] != expected:
+            report.divergences.append(ServiceDivergence(
+                label,
+                f"duplicate submission ended state={job['state']!r} "
+                f"digest={str(job['digest'])[:16]} (want {expected[:16]})",
+            ))
+            return
+
+
+def _check_counters(report, client, specs, duplicates: int) -> None:
+    """Exactly one execution per distinct spec, everything else reused."""
+    counters = client.metrics()["counters"].get("serve.queue", {})
+    executed = counters.get("executed", 0)
+    reused = counters.get("coalesced", 0) + counters.get("cache_hits", 0)
+    report.checks += 1
+    if executed != len(specs):
+        report.divergences.append(ServiceDivergence(
+            "counters",
+            f"expected exactly {len(specs)} executions, "
+            f"counters say {executed} ({counters})",
+        ))
+    report.checks += 1
+    if reused != len(specs) * duplicates:
+        report.divergences.append(ServiceDivergence(
+            "counters",
+            f"expected {len(specs) * duplicates} reused submissions, "
+            f"counters say {reused} ({counters})",
+        ))

@@ -22,10 +22,12 @@ Environment knobs:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pathlib
 import pickle
+import tempfile
 from typing import Any
 
 _CODE_VERSION: str | None = None
@@ -91,10 +93,25 @@ class ResultCache:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest().encode()
         path = self.path_for(key)
-        # Write-then-rename so a concurrent reader never sees a torn entry.
-        temporary = path.with_suffix(f".tmp{os.getpid()}")
-        temporary.write_bytes(digest + b"\n" + payload)
-        temporary.replace(path)
+        # Write to a uniquely-named temp file in the same directory,
+        # then atomically rename over the entry. A pid-based temp name
+        # is not enough once the service makes multi-writer puts the
+        # common case: two threads of one process (or a recycled pid)
+        # would interleave writes into the same temp file and publish a
+        # torn entry. mkstemp gives every writer its own file; the
+        # losing os.replace simply overwrites the winner with an
+        # identical, complete entry.
+        handle, temporary = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(digest + b"\n" + payload)
+            os.replace(temporary, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temporary)
+            raise
         self.stats["stores"] += 1
 
     def clear(self) -> int:

@@ -35,15 +35,27 @@ _DEFAULT = object()
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    An explicit argument is clamped to 1 (harness code computes worker
+    counts and 0 means "serial" by construction); ``REPRO_JOBS`` is
+    operator input and is validated instead — a value below 1 is a
+    typo'd configuration, not a request for serial execution, and
+    silently clamping it would hide the mistake.
+    """
     if jobs is not None:
         return max(1, int(jobs))
     env = os.environ.get("REPRO_JOBS", "")
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
             raise ReproError(f"REPRO_JOBS={env!r} is not an integer") from None
+        if value < 1:
+            raise ReproError(
+                f"REPRO_JOBS={env!r} must be >= 1 (1 means serial execution)"
+            )
+        return value
     return 1
 
 

@@ -1,0 +1,145 @@
+"""On-disk job journal: crash-safe recovery for the simulation service.
+
+The store records *job lifecycle*, not results. Terminal results
+already live in the process-wide :class:`~repro.perf.cache.ResultCache`
+(the executor writes them there under the spec's cache key), so the
+journal only needs enough to rebuild the queue: one JSON line per
+transition, append-only, fsync-free (a lost tail costs at most a
+re-execution, never a wrong answer — execution is deterministic and
+cache-checked).
+
+Recovery folds the journal by ``job_id`` (last transition wins) and
+returns the jobs that were still open — queued or running — when the
+previous server died. The server re-enqueues them with their original
+ids, so clients polling across a restart keep working; a recovered job
+whose result landed in the cache before the crash completes instantly
+from the cache instead of re-running. Re-recovering is idempotent:
+``JobQueue.submit(recovered=True)`` returns the existing job when the
+id is already present.
+
+Journals compact themselves: when the file grows past
+``compact_after`` lines, the next append rewrites it to one line per
+open job (terminal history is dropped — it is queryable from the cache
+and of no use to recovery).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.serve.protocol import QUEUED, RUNNING, TERMINAL_STATES
+
+JOURNAL_NAME = "jobs.jsonl"
+JOURNAL_SCHEMA = 1
+
+
+class JobStore:
+    """Append-only JSONL journal under one state directory."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        compact_after: int = 4096,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.path = self.root / JOURNAL_NAME
+        self.compact_after = max(16, int(compact_after))
+        self._clock = clock
+        self._lines = 0
+
+    # ------------------------------------------------------------------
+    def append(self, state: str, job_wire: dict) -> None:
+        """Record one transition; ``job_wire`` is ``Job.as_wire()``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": JOURNAL_SCHEMA,
+            "ts": self._clock(),
+            "state": state,
+            "job": _journal_view(job_wire),
+        }
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._lines += 1
+        if self._lines >= self.compact_after:
+            self.compact()
+
+    def fold(self) -> dict[str, dict]:
+        """job_id -> latest journal entry (malformed tail lines skipped).
+
+        A torn final line (the append the crash interrupted) is normal
+        and ignored; a torn line in the middle would also be skipped,
+        which at worst re-runs or forgets one deterministic job.
+        """
+        folded: dict[str, dict] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return folded
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                job_id = entry["job"]["job_id"]
+            except (ValueError, KeyError, TypeError):
+                continue
+            folded[job_id] = entry
+        return folded
+
+    def recover(self) -> list[dict]:
+        """Journal views of jobs left open by the previous server.
+
+        Returned in original submission order so recovered work keeps
+        its FIFO position within each priority level.
+        """
+        open_jobs = [
+            entry["job"]
+            for entry in self.fold().values()
+            if entry.get("state") in (QUEUED, RUNNING)
+        ]
+        open_jobs.sort(key=lambda job: job.get("submitted_at", 0.0))
+        return open_jobs
+
+    def compact(self) -> int:
+        """Rewrite the journal to one line per open job; returns lines kept.
+
+        Uses write-to-temp + :func:`os.replace` so a crash mid-compact
+        leaves either the old or the new journal, never a torn one.
+        """
+        folded = self.fold()
+        keep = [
+            entry
+            for entry in folded.values()
+            if entry.get("state") not in TERMINAL_STATES
+        ]
+        keep.sort(key=lambda entry: entry["job"].get("submitted_at", 0.0))
+        temporary = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        with temporary.open("w", encoding="utf-8") as handle:
+            for entry in keep:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        os.replace(temporary, self.path)
+        self._lines = len(keep)
+        return len(keep)
+
+
+def _journal_view(job_wire: dict) -> dict:
+    """The journal subset of a job's wire view (no volatile fields)."""
+    try:
+        return {
+            "job_id": job_wire["job_id"],
+            "spec": job_wire["spec"],
+            "client": job_wire["client"],
+            "priority": job_wire["priority"],
+            "submitted_at": job_wire["submitted_at"],
+        }
+    except KeyError as error:
+        raise ReproError(
+            f"job wire view is missing journal field {error}"
+        ) from None

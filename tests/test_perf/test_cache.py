@@ -86,6 +86,79 @@ class TestResultCache:
         assert cache.get("key") == value
         assert pickle.dumps(cache.get("key"))  # still picklable
 
+    def test_failed_put_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path, version="v1")
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("nope")
+
+        with pytest.raises(Exception):
+            cache.put("key", Unpicklable())
+        # pickling fails before the temp file exists; now fail the rename
+        import os as os_module
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os_module, "replace", broken_replace)
+        with pytest.raises(OSError):
+            cache.put("key", "value")
+        monkeypatch.undo()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestConcurrentWriters:
+    """The service makes multi-writer puts the common case: same-process
+    threads and separate processes racing on one key must never publish
+    a torn entry (reads see some complete value or a miss, never
+    ``poisoned``) and must not leak temp files."""
+
+    def test_threaded_same_key_stress(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache(tmp_path, version="v1")
+        payloads = [b"x" * (1024 + worker) for worker in range(8)]
+
+        def hammer(worker: int) -> None:
+            mine = payloads[worker]
+            for _ in range(25):
+                cache.put("shared", mine)
+                got = cache.get("shared")
+                assert got in payloads, "torn or foreign entry served"
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [pool.submit(hammer, w) for w in range(8)]:
+                future.result()
+        assert cache.stats["poisoned"] == 0
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.get("shared") in payloads
+
+    def test_multiprocess_same_key_stress(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(_hammer_shared_key, [(str(tmp_path), w)
+                                              for w in range(4)])
+            )
+        assert all(poisoned == 0 for poisoned in results)
+        cache = ResultCache(tmp_path, version="v1")
+        value = cache.get("shared")
+        assert isinstance(value, bytes) and len(value) >= 4096
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+def _hammer_shared_key(args: tuple[str, int]) -> int:
+    """Worker for the multiprocess stress test (module-level: picklable)."""
+    root, worker = args
+    cache = ResultCache(root, version="v1")
+    for iteration in range(20):
+        cache.put("shared", bytes([worker]) * (4096 + iteration))
+        got = cache.get("shared")
+        assert got is None or len(got) >= 4096
+    return cache.stats["poisoned"]
+
 
 class TestCodeVersion:
     def test_stable_within_process(self):

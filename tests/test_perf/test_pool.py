@@ -137,3 +137,19 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "many")
         with pytest.raises(errors.ReproError):
             resolve_jobs(None)
+
+    @pytest.mark.parametrize("env", ["0", "-1", "-8"])
+    def test_env_below_one_rejected(self, monkeypatch, env):
+        """REPRO_JOBS < 1 is a typo'd config, not a serial request."""
+        monkeypatch.setenv("REPRO_JOBS", env)
+        with pytest.raises(errors.ReproError, match="must be >= 1"):
+            resolve_jobs(None)
+
+    def test_env_one_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_argument_still_clamped(self, monkeypatch):
+        """Explicit args keep the old clamp even with a bad env set."""
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs(0) == 1

@@ -1,0 +1,234 @@
+"""Queue policy tests: priority, admission control, coalescing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.specs import RunSpec
+from repro.serve.protocol import (
+    CANCELLED,
+    DONE,
+    ERR_RATE_LIMITED,
+    ERR_TOO_MANY_INFLIGHT,
+    FAILED,
+    QUEUED,
+    RUNNING,
+)
+from repro.serve.queue import AdmissionDenied, JobQueue, TokenBucket
+
+
+def spec(stride: int = 2, lines: int = 8, variant: str = "scalar") -> RunSpec:
+    return RunSpec(
+        kind="patternscan",
+        params={"variant": variant, "stride": stride, "lines": lines},
+        mode="fast",
+    )
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_zero(self):
+        bucket = TokenBucket(rate=0.0, burst=1, clock=FakeClock())
+        assert all(bucket.try_take() == 0.0 for _ in range(100))
+
+    def test_burst_then_refusal_with_eta(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(3)] == [0.0, 0.0, 0.0]
+        eta = bucket.try_take()
+        assert eta == pytest.approx(0.5)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_take(), bucket.try_take()
+        assert bucket.try_take() > 0.0
+        clock.advance(0.5)  # one token at 2/s
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() > 0.0
+
+    def test_failed_take_does_not_consume(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        bucket.try_take()
+        first = bucket.try_take()
+        second = bucket.try_take()
+        assert first == pytest.approx(second) == pytest.approx(1.0)
+
+
+class TestPriorityOrder:
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        low, _ = queue.submit(spec(2), priority=0)
+        high, _ = queue.submit(spec(4), priority=5)
+        mid, _ = queue.submit(spec(8), priority=2)
+        assert [queue.pop(), queue.pop(), queue.pop()] == [high, mid, low]
+        assert queue.pop() is None
+
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        first, _ = queue.submit(spec(2), priority=1)
+        second, _ = queue.submit(spec(4), priority=1)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_jobs_skipped_by_pop(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(2))
+        other, _ = queue.submit(spec(4))
+        assert queue.cancel(job)
+        assert queue.pop() is other
+        assert queue.pop() is None
+        assert job.state == CANCELLED
+
+
+class TestCoalescing:
+    def test_identical_specs_share_a_job(self):
+        queue = JobQueue()
+        job, coalesced = queue.submit(spec(2), client="a")
+        dup, dup_coalesced = queue.submit(spec(2), client="b")
+        assert not coalesced and dup_coalesced
+        assert dup is job
+        assert job.attached == 1
+        assert len(queue) == 1
+        assert queue.stats.get("coalesced") == 1
+
+    def test_different_specs_do_not_coalesce(self):
+        queue = JobQueue()
+        a, _ = queue.submit(spec(2))
+        b, _ = queue.submit(spec(4))
+        assert a is not b
+
+    def test_terminal_job_does_not_absorb_new_submissions(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(2))
+        queue.mark_running(queue.pop())
+        queue.finish(job, record={"answer": 1})
+        fresh, coalesced = queue.submit(spec(2))
+        assert fresh is not job and not coalesced
+
+    def test_running_job_still_absorbs(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(2))
+        queue.mark_running(queue.pop())
+        dup, coalesced = queue.submit(spec(2))
+        assert coalesced and dup is job
+
+
+class TestAdmission:
+    def test_inflight_cap_per_client(self):
+        queue = JobQueue(max_inflight=2)
+        queue.submit(spec(2), client="c")
+        queue.submit(spec(4), client="c")
+        with pytest.raises(AdmissionDenied) as denied:
+            queue.submit(spec(8), client="c")
+        assert denied.value.code == ERR_TOO_MANY_INFLIGHT
+        assert denied.value.retry_after > 0
+        # A different client is unaffected.
+        queue.submit(spec(8), client="other")
+        assert queue.stats.get("rejected_inflight") == 1
+
+    def test_inflight_released_on_terminal(self):
+        queue = JobQueue(max_inflight=1)
+        job, _ = queue.submit(spec(2), client="c")
+        queue.mark_running(queue.pop())
+        queue.finish(job, record={})
+        queue.submit(spec(4), client="c")  # must not raise
+
+    def test_coalesced_submission_does_not_count_inflight(self):
+        queue = JobQueue(max_inflight=1)
+        queue.submit(spec(2), client="c")
+        dup, coalesced = queue.submit(spec(2), client="c")
+        assert coalesced  # same spec: attaches instead of tripping the cap
+
+    def test_rate_limit_applies_to_every_submission(self):
+        clock = FakeClock()
+        queue = JobQueue(rate=1.0, burst=1, clock=clock)
+        queue.submit(spec(2), client="c")
+        with pytest.raises(AdmissionDenied) as denied:
+            queue.submit(spec(2), client="c")  # even a coalescible one
+        assert denied.value.code == ERR_RATE_LIMITED
+        assert denied.value.retry_after == pytest.approx(1.0)
+        clock.advance(1.1)
+        dup, coalesced = queue.submit(spec(2), client="c")
+        assert coalesced
+
+    def test_recovered_jobs_bypass_admission(self):
+        queue = JobQueue(max_inflight=1, rate=0.001, burst=1,
+                         clock=FakeClock())
+        queue.submit(spec(2), client="c")
+        job, existing = queue.submit(
+            spec(4), client="c", job_id="j-recovered", recovered=True
+        )
+        assert not existing and job.job_id == "j-recovered"
+
+    def test_recovery_is_idempotent(self):
+        queue = JobQueue()
+        first, _ = queue.submit(spec(2), job_id="j-1", recovered=True)
+        again, existing = queue.submit(spec(2), job_id="j-1", recovered=True)
+        assert existing and again is first
+
+
+class TestLifecycle:
+    def test_happy_path_states_and_digest(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        job, _ = queue.submit(spec(2))
+        assert job.state == QUEUED
+        clock.advance(0.25)
+        queue.mark_running(queue.pop())
+        assert job.state == RUNNING
+        queue.finish(job, record={"answer": 42})
+        assert job.state == DONE and job.terminal
+        assert job.digest and len(job.digest) == 64
+        assert job.done.is_set()
+        assert queue.wait_ms.count == 1 and queue.wait_ms.maximum == 250
+
+    def test_fail_records_error(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(2))
+        queue.mark_running(queue.pop())
+        queue.fail(job, "boom")
+        assert job.state == FAILED and job.error == "boom"
+        assert job.done.is_set()
+
+    def test_cannot_finish_terminal_job(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(2))
+        queue.cancel(job)
+        with pytest.raises(ReproError):
+            queue.finish(job, record={})
+
+    def test_cancel_running_job_refused(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(2))
+        queue.mark_running(queue.pop())
+        assert not queue.cancel(job)
+        assert job.state == RUNNING
+
+    def test_counts_and_wire_view(self):
+        queue = JobQueue()
+        job, _ = queue.submit(spec(2), client="me", priority=3)
+        counts = queue.counts()
+        assert counts[QUEUED] == 1 and counts[DONE] == 0
+        wire = job.as_wire(clock_now=job.submitted_at + 2.0)
+        assert wire["client"] == "me" and wire["priority"] == 3
+        assert wire["age_seconds"] == pytest.approx(2.0)
+        assert wire["spec"]["kind"] == "patternscan"

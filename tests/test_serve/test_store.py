@@ -1,0 +1,110 @@
+"""Job-journal tests: folding, recovery, torn lines, compaction."""
+
+import json
+
+from repro.perf.specs import RunSpec
+from repro.serve.protocol import DONE, QUEUED, RUNNING
+from repro.serve.queue import JobQueue
+from repro.serve.store import JobStore
+
+
+def spec_wire(stride: int = 2) -> dict:
+    return {
+        "kind": "patternscan",
+        "layout": None,
+        "params": {"variant": "scalar", "stride": stride, "lines": 8},
+        "config_overrides": {},
+        "seed": None,
+        "obs": "off",
+        "mode": "fast",
+    }
+
+
+def job_wire(job_id: str, stride: int = 2, submitted_at: float = 1.0) -> dict:
+    return {
+        "job_id": job_id,
+        "spec": spec_wire(stride),
+        "client": "tester",
+        "priority": 0,
+        "submitted_at": submitted_at,
+    }
+
+
+class TestJournal:
+    def test_append_and_fold_last_state_wins(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append(QUEUED, job_wire("j-1"))
+        store.append(RUNNING, job_wire("j-1"))
+        store.append(DONE, job_wire("j-1"))
+        folded = store.fold()
+        assert folded["j-1"]["state"] == DONE
+
+    def test_recover_returns_open_jobs_in_submit_order(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append(QUEUED, job_wire("j-late", stride=8, submitted_at=3.0))
+        store.append(QUEUED, job_wire("j-early", stride=4, submitted_at=1.0))
+        store.append(QUEUED, job_wire("j-done", stride=2, submitted_at=2.0))
+        store.append(DONE, job_wire("j-done", stride=2, submitted_at=2.0))
+        recovered = store.recover()
+        assert [job["job_id"] for job in recovered] == ["j-early", "j-late"]
+
+    def test_running_jobs_are_recovered_too(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append(QUEUED, job_wire("j-1"))
+        store.append(RUNNING, job_wire("j-1"))
+        assert [job["job_id"] for job in store.recover()] == ["j-1"]
+
+    def test_empty_or_missing_journal(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.recover() == []
+        assert store.fold() == {}
+
+    def test_torn_tail_line_ignored(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append(QUEUED, job_wire("j-1"))
+        with store.path.open("a") as handle:
+            handle.write('{"schema": 1, "state": "queu')  # crash mid-append
+        assert [job["job_id"] for job in store.recover()] == ["j-1"]
+
+    def test_recovered_view_round_trips_into_queue(self, tmp_path):
+        """A journal view rebuilds the same cache key the live job had."""
+        from repro.serve.protocol import spec_from_wire
+
+        store = JobStore(tmp_path)
+        queue = JobQueue()
+        job, _ = queue.submit(spec_from_wire(spec_wire()), client="c")
+        store.append(QUEUED, job.as_wire())
+        [view] = store.recover()
+        fresh = JobQueue()
+        recovered, existing = fresh.submit(
+            spec_from_wire(view["spec"]),
+            client=view["client"],
+            priority=view["priority"],
+            job_id=view["job_id"],
+            recovered=True,
+        )
+        assert not existing
+        assert recovered.job_id == job.job_id
+        assert recovered.key == job.key
+
+    def test_compaction_drops_terminal_history(self, tmp_path):
+        store = JobStore(tmp_path, compact_after=100)
+        for index in range(10):
+            wire = job_wire(f"j-{index}", stride=2, submitted_at=float(index))
+            store.append(QUEUED, wire)
+            store.append(DONE, wire)
+        store.append(QUEUED, job_wire("j-open", stride=4, submitted_at=99.0))
+        kept = store.compact()
+        assert kept == 1
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["job"]["job_id"] == "j-open"
+
+    def test_auto_compaction_triggers(self, tmp_path):
+        store = JobStore(tmp_path, compact_after=16)
+        for index in range(20):
+            wire = job_wire(f"j-{index}", submitted_at=float(index))
+            store.append(QUEUED, wire)
+            store.append(DONE, wire)
+        # Far fewer than 40 lines must remain after auto-compaction.
+        assert len(store.path.read_text().splitlines()) < 20

@@ -16,10 +16,17 @@ levels, mirroring how the differential oracle treats the timed machine:
    profiles must be equal.
 3. **Ablation grid** (:func:`run_grid_equivalence`) — an abl-3-shaped
    transactions + analytics grid across layouts and table sizes, run
-   through the real drivers in both modes; functional counts and
-   verified answers must be equal.
+   through the real drivers in both modes; functional counts, *every
+   per-component statistic* (controller / L1 / L2 / hierarchy / DBI),
+   and verified answers must be equal. A divergence names the first
+   differing key path (``component.stat: event=... fast=...``), not a
+   bare digest mismatch.
+4. **Figure grids** (:func:`run_figure_grid_equivalence`) — every
+   fig9/fig10/fig11/fig13 RunSpec from :func:`figure_specs` at a small
+   scale, each fast spec paired with its event-mode twin through
+   :func:`execute_spec`, compared with the same full stat-dict battery.
 
-:func:`run_fastpath` bundles the three for the ``repro-check`` CLI.
+:func:`run_fastpath` bundles the four for the ``repro-check`` CLI.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from repro.cpu.isa import Compute, Load, Store
 from repro.db.engine import run_analytics, run_transactions
 from repro.db.workload import AnalyticsQuery, TransactionMix
 from repro.errors import ReproError
+from repro.harness.common import Scale
 from repro.perf.specs import make_layout
 from repro.sim.config import SystemConfig
 from repro.sim.system import System
@@ -123,6 +131,50 @@ def _compare_stat_dicts(
                 FastPathDivergence(
                     where, f"{component}.{key}: event={a} fast={b}"
                 )
+            )
+
+
+#: Component stat dicts captured by the drivers (see
+#: :func:`repro.vec.shim.component_snapshot`).
+STAT_COMPONENTS = ("controller", "l1", "l2", "hierarchy", "dbi")
+
+_MISSING = object()
+
+
+def _compare_records(where: str, event_record, fast_record,
+                     report: FastPathReport) -> None:
+    """Full battery over two driver records: result fields, every
+    per-component statistic, and the functional outputs."""
+    _compare_result_fields(where, event_record.result, fast_record.result,
+                           report)
+    event_stats = getattr(event_record, "component_stats", None)
+    fast_stats = getattr(fast_record, "component_stats", None)
+    if event_stats is None or fast_stats is None:
+        report.divergences.append(
+            FastPathDivergence(
+                where,
+                "component_stats: "
+                f"event={'present' if event_stats else 'missing'} "
+                f"fast={'present' if fast_stats else 'missing'}",
+            )
+        )
+    else:
+        for component in STAT_COMPONENTS:
+            _compare_stat_dicts(
+                where, component,
+                event_stats.get(component, {}),
+                fast_stats.get(component, {}),
+                report,
+            )
+    for name in ("verified", "answer"):
+        a = getattr(event_record, name, _MISSING)
+        b = getattr(fast_record, name, _MISSING)
+        if a is _MISSING and b is _MISSING:
+            continue
+        report.values_compared += 1
+        if a != b:
+            report.divergences.append(
+                FastPathDivergence(where, f"{name}: event={a} fast={b}")
             )
 
 
@@ -310,26 +362,53 @@ def run_grid_equivalence(
                         make_layout(layout_name), query,
                         num_tuples=tuples, mode="fast",
                     )
-                _compare_result_fields(where, event.result, fast.result, report)
-                report.values_compared += 1
-                if event.verified != fast.verified:
-                    report.divergences.append(
-                        FastPathDivergence(
-                            where,
-                            f"verified: event={event.verified} "
-                            f"fast={fast.verified}",
-                        )
-                    )
-                if workload == "anl":
-                    report.values_compared += 1
-                    if event.answer != fast.answer:
-                        report.divergences.append(
-                            FastPathDivergence(
-                                where,
-                                f"answer: event={event.answer} "
-                                f"fast={fast.answer}",
-                            )
-                        )
+                _compare_records(where, event, fast, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# 4. Figure grids: every fig9/10/11/13 spec, fast vs event twin
+# ----------------------------------------------------------------------
+
+#: Small scale for the figure-grid battery: big enough for every layout
+#: path (GS gathers need multiples of 8; the HTAP L2 override must fit
+#: real traffic), small enough that event-mode runs stay in seconds.
+CHECK_SCALE = Scale(
+    name="check",
+    db_tuples=512,
+    db_transactions=50,
+    htap_tuples=512,
+    htap_l2_size=16 * 1024,
+    gemm_sizes=(16,),
+)
+
+
+def run_figure_grid_equivalence(
+    scale: Scale | None = None,
+    figures: tuple[str, ...] | None = None,
+) -> FastPathReport:
+    """Every figure RunSpec at a small scale, fast vs its event twin.
+
+    The fast specs come from :func:`figure_specs(..., mode="fast")` —
+    the exact specs the harnesses, bench suite, and serve jobs submit —
+    and each is compared against ``dataclasses.replace(spec,
+    mode="event")`` run through the same :func:`execute_spec` dispatch.
+    """
+    import dataclasses
+
+    from repro.harness.specsets import SPEC_FIGURES, figure_specs, spec_label
+    from repro.perf.specs import execute_spec
+
+    scale = scale or CHECK_SCALE
+    report = FastPathReport()
+    for figure in figures or SPEC_FIGURES:
+        for fast_spec in figure_specs(figure, scale, mode="fast"):
+            report.runs += 1
+            where = f"{figure} {spec_label(fast_spec)}"
+            event_spec = dataclasses.replace(fast_spec, mode="event")
+            event = execute_spec(event_spec)
+            fast = execute_spec(fast_spec)
+            _compare_records(where, event, fast, report)
     return report
 
 
@@ -339,10 +418,11 @@ def run_fastpath(
     max_ops: int = 48,
     sweep_lines: int = 256,
 ) -> FastPathReport:
-    """The full fast-path battery (traces + sweep + grid)."""
+    """The full fast-path battery (traces + sweep + grids)."""
     report = run_trace_equivalence(
         traces_per_config=traces_per_config, seed=seed, max_ops=max_ops
     )
     report.merge(run_sweep_equivalence(lines=sweep_lines))
     report.merge(run_grid_equivalence())
+    report.merge(run_figure_grid_equivalence())
     return report

@@ -28,6 +28,15 @@ from repro.errors import ConfigError, WorkloadError
 from repro.sim.config import SystemConfig, plain_dram_config, table1_config
 from repro.sim.results import RunResult
 from repro.sim.system import System
+from repro.vec.shim import component_snapshot
+
+
+def layout_config(layout: StorageLayout, cores: int = 1,
+                  prefetch: bool = False, **overrides) -> SystemConfig:
+    """The machine configuration matched to the layout's substrate."""
+    if isinstance(layout, GSDRAMStore):
+        return table1_config(cores=cores, prefetch=prefetch, **overrides)
+    return plain_dram_config(cores=cores, prefetch=prefetch, **overrides)
 
 
 def system_for(layout: StorageLayout, cores: int = 1, prefetch: bool = False,
@@ -40,10 +49,7 @@ def system_for(layout: StorageLayout, cores: int = 1, prefetch: bool = False,
     :class:`~repro.errors.ConfigError` for configurations whose
     functional behaviour depends on timing (see docs/PERFORMANCE.md).
     """
-    if isinstance(layout, GSDRAMStore):
-        config = table1_config(cores=cores, prefetch=prefetch, **overrides)
-    else:
-        config = plain_dram_config(cores=cores, prefetch=prefetch, **overrides)
+    config = layout_config(layout, cores=cores, prefetch=prefetch, **overrides)
     if mode == "fast":
         from repro.vec.fastpath import FastSystem
 
@@ -51,6 +57,20 @@ def system_for(layout: StorageLayout, cores: int = 1, prefetch: bool = False,
     if mode != "event":
         raise ConfigError(f"unknown run mode {mode!r}")
     return System(config)
+
+
+def _vectorized(layout: StorageLayout, mode: str) -> bool:
+    """True when this run should use the vectorized (no-machine) engine.
+
+    ``PartialGatherStore`` and other subclasses still run ``mode="fast"``
+    on :class:`~repro.vec.fastpath.FastSystem` (real hierarchy, frozen
+    clock); only the three exactly-modelled layouts skip the machine.
+    """
+    if mode != "fast":
+        return False
+    from repro.vec.db import fast_layout_supported
+
+    return fast_layout_supported(layout)
 
 
 @dataclass
@@ -61,6 +81,10 @@ class TransactionRun:
     mix_label: str
     result: RunResult
     verified: bool
+    #: Per-component stat dicts (controller/l1/l2/hierarchy/dbi) for the
+    #: event-vs-fast equivalence battery; None when not captured
+    #: (multi-core machines).
+    component_stats: dict | None = None
 
 
 def run_transactions(
@@ -80,6 +104,19 @@ def run_transactions(
     txns = generate_transactions(schema, num_tuples, mix, count, seed)
     expected_reads = oracle.apply_all(txns)
 
+    if _vectorized(layout, mode):
+        from repro.vec.db import fast_transactions
+
+        config = layout_config(layout, prefetch=prefetch,
+                               **(config_overrides or {}))
+        outcome = fast_transactions(layout, txns, rows, num_tuples, config)
+        verified = (
+            outcome.observed == expected_reads
+            and outcome.final_rows == oracle.rows
+        )
+        return TransactionRun(layout.name, mix.label, outcome.result,
+                              verified, outcome.component_stats)
+
     system = system_for(layout, prefetch=prefetch, mode=mode,
                         **(config_overrides or {}))
     layout.attach(system, num_tuples)
@@ -87,9 +124,10 @@ def run_transactions(
 
     observed: list[int] = []
     result = system.run([layout.transactions_program(txns, observed.append)])
+    stats = component_snapshot(system)
 
     verified = observed == expected_reads and layout.read_rows() == oracle.rows
-    return TransactionRun(layout.name, mix.label, result, verified)
+    return TransactionRun(layout.name, mix.label, result, verified, stats)
 
 
 @dataclass
@@ -102,6 +140,7 @@ class AnalyticsRun:
     result: RunResult
     answer: int
     verified: bool
+    component_stats: dict | None = None
 
 
 def run_analytics(
@@ -118,6 +157,18 @@ def run_analytics(
     oracle = OracleTable(schema, rows)
     expected = oracle.column_sum(query)
 
+    if _vectorized(layout, mode):
+        from repro.vec.db import fast_analytics
+
+        config = layout_config(layout, prefetch=prefetch,
+                               **(config_overrides or {}))
+        outcome = fast_analytics(layout, query, rows, num_tuples, config)
+        return AnalyticsRun(
+            layout.name, query.label, prefetch, outcome.result,
+            outcome.answer, outcome.answer == expected,
+            outcome.component_stats,
+        )
+
     system = system_for(layout, prefetch=prefetch, mode=mode,
                         **(config_overrides or {}))
     layout.attach(system, num_tuples)
@@ -129,8 +180,10 @@ def run_analytics(
         total[0] += value
 
     result = system.run([layout.analytics_ops(query, add)])
+    stats = component_snapshot(system)
     return AnalyticsRun(
-        layout.name, query.label, prefetch, result, total[0], total[0] == expected
+        layout.name, query.label, prefetch, result, total[0],
+        total[0] == expected, stats,
     )
 
 
@@ -144,6 +197,11 @@ class HTAPRun:
     committed_txns: int
     txn_throughput_mps: float  # million transactions per second
     result: RunResult
+    #: Functional verification and the analytics answer (phased runs
+    #: only; the open-ended variant's answer depends on timing).
+    verified: bool = True
+    answer: int | None = None
+    component_stats: dict | None = None
 
 
 def _endless_transactions(
@@ -171,16 +229,36 @@ def run_htap(
     prefetch: bool = False,
     cpu_ghz: float = 4.0,
     config_overrides: dict | None = None,
+    mode: str = "event",
+    txn_count: int | None = None,
 ) -> HTAPRun:
     """One analytics thread + one transaction thread on two cores.
 
     The transaction thread runs until the analytics thread completes
-    (``stop_on_core=0``), matching the paper's setup.
+    (``stop_on_core=0``), matching the paper's setup. With ``txn_count``
+    set, the run is *phased* instead: a fixed transaction batch, the
+    analytics scan over the mid-run table, and a second batch execute
+    on one core — the deterministic variant both modes share, used by
+    the fast-mode figure specs and the equivalence battery.
     """
     workload = workload or HTAPWorkload()
     schema = layout.schema
     rows = make_rows(schema, num_tuples)
     oracle = OracleTable(schema, rows)
+
+    if txn_count is not None:
+        return _run_htap_phased(
+            layout, workload, txn_count, rows, oracle, num_tuples,
+            prefetch, cpu_ghz, config_overrides, mode,
+        )
+    if mode == "fast":
+        raise ConfigError(
+            "kind 'htap' has no fast path for the open-ended two-core "
+            "workload (committed-transaction count is timing-dependent); "
+            "pass txn_count for the phased variant or use mode='event'"
+        )
+    if mode != "event":
+        raise ConfigError(f"unknown run mode {mode!r}")
 
     system = system_for(layout, cores=2, prefetch=prefetch,
                         **(config_overrides or {}))
@@ -207,4 +285,81 @@ def run_htap(
         committed[0],
         throughput,
         result,
+        answer=total[0],
+    )
+
+
+def _run_htap_phased(
+    layout: StorageLayout,
+    workload: HTAPWorkload,
+    txn_count: int,
+    rows: list[list[int]],
+    oracle: OracleTable,
+    num_tuples: int,
+    prefetch: bool,
+    cpu_ghz: float,
+    config_overrides: dict | None,
+    mode: str,
+) -> HTAPRun:
+    """Fixed-count HTAP: batch A, analytics, batch B — on one core."""
+    schema = layout.schema
+    count_a = (txn_count + 1) // 2
+    count_b = txn_count - count_a
+    txns_a = generate_transactions(
+        schema, num_tuples, workload.txn_mix, count_a, seed=workload.txn_seed
+    )
+    txns_b = generate_transactions(
+        schema, num_tuples, workload.txn_mix, count_b,
+        seed=workload.txn_seed + 1,
+    )
+    oracle.apply_all(txns_a)
+    expected_mid = oracle.column_sum(workload.analytics)
+    oracle.apply_all(txns_b)
+
+    if _vectorized(layout, mode):
+        from repro.vec.db import fast_htap_phased
+
+        config = layout_config(layout, prefetch=prefetch,
+                               **(config_overrides or {}))
+        outcome = fast_htap_phased(
+            layout, txns_a, txns_b, workload.analytics, rows, num_tuples,
+            config,
+        )
+        verified = (
+            outcome.answer == expected_mid
+            and outcome.final_rows == oracle.rows
+        )
+        return HTAPRun(
+            layout.name, prefetch, 0, txn_count, 0.0, outcome.result,
+            verified, outcome.answer, outcome.component_stats,
+        )
+
+    system = system_for(layout, prefetch=prefetch, mode=mode,
+                        **(config_overrides or {}))
+    layout.attach(system, num_tuples)
+    layout.load_rows(rows)
+
+    total = [0]
+
+    def program():
+        for txn in txns_a:
+            yield from layout.transaction_ops(txn)
+        yield from layout.analytics_ops(
+            workload.analytics, lambda v: total.__setitem__(0, total[0] + v)
+        )
+        for txn in txns_b:
+            yield from layout.transaction_ops(txn)
+
+    result = system.run([program()])
+    stats = component_snapshot(system)
+    verified = total[0] == expected_mid and layout.read_rows() == oracle.rows
+    analytics_cycles = result.cycles
+    if analytics_cycles > 0:
+        seconds = analytics_cycles / (cpu_ghz * 1e9)
+        throughput = txn_count / seconds / 1e6
+    else:
+        throughput = 0.0
+    return HTAPRun(
+        layout.name, prefetch, analytics_cycles, txn_count, throughput,
+        result, verified, total[0], stats,
     )

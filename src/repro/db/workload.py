@@ -17,6 +17,7 @@ Workloads are layout-independent *specifications*; the layouts in
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 
@@ -140,10 +141,22 @@ class HTAPWorkload:
     txn_seed: int = 7
 
 
+@functools.lru_cache(maxsize=4)
+def _rows_master(schema: TableSchema, num_tuples: int, seed: int) -> tuple:
+    """Immutable master copy of one seeded table.
+
+    A figure sweep generates the *same* table once per layout (and the
+    fast path once more for its event twin); at 16K+ tuples the seeded
+    generation dwarfs a copy, so memoise the draw and let
+    :func:`make_rows` hand out fresh mutable copies.
+    """
+    rng = random.Random(seed)
+    return tuple(
+        tuple(rng.randrange(1 << 32) for _ in range(schema.num_fields))
+        for _ in range(num_tuples)
+    )
+
+
 def make_rows(schema: TableSchema, num_tuples: int, seed: int = 1) -> list[list[int]]:
     """Deterministic table contents (the functional oracle's source)."""
-    rng = random.Random(seed)
-    return [
-        [rng.randrange(1 << 32) for _ in range(schema.num_fields)]
-        for _ in range(num_tuples)
-    ]
+    return [list(row) for row in _rows_master(schema, num_tuples, seed)]

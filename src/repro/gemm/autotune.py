@@ -11,6 +11,12 @@ caches down by the same factor as the matrices (4 KB L1 / 256 KB L2,
 n = 16..96). The capacity *ratios* that produce the paper's curve —
 B outgrowing L1, then L2 pressure — are preserved; this substitution
 is documented in DESIGN.md and EXPERIMENTS.md.
+
+Every driver takes ``mode``: ``"event"`` executes the kernel on the
+cycle-level :class:`System`; ``"fast"`` replays the closed-form address
+stream through the vectorized engine (:mod:`repro.vec.gemm`) — same
+cache/DRAM stats, ``cycles == 0``. The equivalence battery
+(``repro check``) holds the two paths stat-identical.
 """
 
 from __future__ import annotations
@@ -19,11 +25,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.gemm.kernels import gs_ops, naive_ops, tiled_ops
 from repro.gemm.matrix import BlockedMatrix, DenseMatrix, random_matrix
 from repro.sim.config import plain_dram_config, table1_config
 from repro.sim.results import RunResult
 from repro.sim.system import System
+from repro.vec.shim import component_snapshot
 
 #: Cache scaling used by the default GEMM experiments (see module doc).
 GEMM_CACHE_OVERRIDES = {"l1_size": 4 * 1024, "l2_size": 256 * 1024}
@@ -41,10 +49,28 @@ class GemmRun:
     tile: int | None
     result: RunResult
     verified: bool
+    #: Per-component stat dicts for the equivalence battery; None when
+    #: not captured.
+    component_stats: dict | None = None
 
     @property
     def cycles(self) -> int:
         return self.result.cycles
+
+    @property
+    def work_proxy(self) -> int:
+        """Ordering key that works in both modes.
+
+        Event runs are ranked by cycles; fast runs (``cycles == 0``)
+        fall back to DRAM traffic, which tracks the same cache-pressure
+        curve the tile sweep is probing.
+        """
+        return self.cycles or self.result.memory_accesses
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in ("event", "fast"):
+        raise ConfigError(f"unknown run mode {mode!r}")
 
 
 def _verify(system: System, c: DenseMatrix, result: np.ndarray,
@@ -52,8 +78,14 @@ def _verify(system: System, c: DenseMatrix, result: np.ndarray,
     return bool(np.array_equal(result, oracle) and np.array_equal(c.read(), oracle))
 
 
-def run_naive(n: int, seed: int = 3, overrides: dict | None = None) -> GemmRun:
+def run_naive(n: int, seed: int = 3, overrides: dict | None = None,
+              mode: str = "event") -> GemmRun:
     """Non-tiled scalar GEMM on commodity DRAM."""
+    _check_mode(mode)
+    if mode == "fast":
+        from repro.vec.gemm import fast_naive
+
+        return fast_naive(n, seed, overrides)
     config = plain_dram_config(**(overrides or GEMM_CACHE_OVERRIDES))
     system = System(config)
     a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
@@ -64,13 +96,22 @@ def run_naive(n: int, seed: int = 3, overrides: dict | None = None) -> GemmRun:
     b.load(b_vals)
     result = np.zeros((n, n), dtype=np.int64)
     run = system.run([naive_ops(a, b, c, result)])
+    # Snapshot before _verify: c.read() drains dirty lines and would
+    # perturb the writeback/DBI counters the battery compares.
+    stats = component_snapshot(system)
     oracle = a_vals @ b_vals
-    return GemmRun("Non-tiled", n, None, run, _verify(system, c, result, oracle))
+    return GemmRun("Non-tiled", n, None, run,
+                   _verify(system, c, result, oracle), stats)
 
 
 def run_tiled(n: int, tile: int, seed: int = 3,
-              overrides: dict | None = None) -> GemmRun:
+              overrides: dict | None = None, mode: str = "event") -> GemmRun:
     """Tiled SIMD GEMM with software gathers, on commodity DRAM."""
+    _check_mode(mode)
+    if mode == "fast":
+        from repro.vec.gemm import fast_tiled
+
+        return fast_tiled(n, tile, seed, overrides)
     config = plain_dram_config(**(overrides or GEMM_CACHE_OVERRIDES))
     system = System(config)
     a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
@@ -81,13 +122,20 @@ def run_tiled(n: int, tile: int, seed: int = 3,
     b.load(b_vals)
     result = np.zeros((n, n), dtype=np.int64)
     run = system.run([tiled_ops(a, b, c, result, tile)])
+    stats = component_snapshot(system)
     oracle = a_vals @ b_vals
-    return GemmRun("Tiled", n, tile, run, _verify(system, c, result, oracle))
+    return GemmRun("Tiled", n, tile, run,
+                   _verify(system, c, result, oracle), stats)
 
 
 def run_gs(n: int, tile: int, seed: int = 3,
-           overrides: dict | None = None) -> GemmRun:
+           overrides: dict | None = None, mode: str = "event") -> GemmRun:
     """Tiled SIMD GEMM with GS-DRAM gathers."""
+    _check_mode(mode)
+    if mode == "fast":
+        from repro.vec.gemm import fast_gs
+
+        return fast_gs(n, tile, seed, overrides)
     config = table1_config(**(overrides or GEMM_CACHE_OVERRIDES))
     system = System(config)
     a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
@@ -98,24 +146,31 @@ def run_gs(n: int, tile: int, seed: int = 3,
     b.load(b_vals)
     result = np.zeros((n, n), dtype=np.int64)
     run = system.run([gs_ops(a, b, c, result, tile)])
+    stats = component_snapshot(system)
     oracle = a_vals @ b_vals
-    return GemmRun("GS-DRAM", n, tile, run, _verify(system, c, result, oracle))
+    return GemmRun("GS-DRAM", n, tile, run,
+                   _verify(system, c, result, oracle), stats)
 
 
 def best_tiled(n: int, tiles: tuple[int, ...] = DEFAULT_TILES, seed: int = 3,
-               overrides: dict | None = None) -> GemmRun:
+               overrides: dict | None = None, mode: str = "event") -> GemmRun:
     """The paper's "Best Tiling": fastest tile size for this n."""
     candidates = [
-        run_tiled(n, tile, seed, overrides) for tile in tiles if n % tile == 0
+        run_tiled(n, tile, seed, overrides, mode=mode)
+        for tile in tiles
+        if n % tile == 0
     ]
-    best = min(candidates, key=lambda run: run.cycles)
-    return GemmRun("Best Tiling", n, best.tile, best.result, best.verified)
+    best = min(candidates, key=lambda run: run.work_proxy)
+    return GemmRun("Best Tiling", n, best.tile, best.result, best.verified,
+                   best.component_stats)
 
 
 def best_gs(n: int, tiles: tuple[int, ...] = DEFAULT_TILES, seed: int = 3,
-            overrides: dict | None = None) -> GemmRun:
+            overrides: dict | None = None, mode: str = "event") -> GemmRun:
     """GS-DRAM at its best tile size (same sweep as the baseline)."""
     candidates = [
-        run_gs(n, tile, seed, overrides) for tile in tiles if n % tile == 0
+        run_gs(n, tile, seed, overrides, mode=mode)
+        for tile in tiles
+        if n % tile == 0
     ]
-    return min(candidates, key=lambda run: run.cycles)
+    return min(candidates, key=lambda run: run.work_proxy)

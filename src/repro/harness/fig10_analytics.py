@@ -20,20 +20,28 @@ QUERIES = (AnalyticsQuery((0,)), AnalyticsQuery((0, 1)))
 def run_figure10(
     scale: Scale | None = None,
     jobs: int | None = None,
+    mode: str = "event",
 ) -> tuple[FigureResult, ComparisonSummary]:
-    """Run the Figure 10 sweep (k columns x prefetch on/off)."""
+    """Run the Figure 10 sweep (k columns x prefetch on/off).
+
+    ``mode="fast"`` runs the vectorized engine on the prefetch-off half
+    of the grid only (the fast substrate has no timing for a prefetcher
+    to react to) and plots DRAM accesses in place of cycles.
+    """
     scale = scale or current_scale()
+    metric = "cycles" if mode == "event" else "DRAM accesses"
     figure = FigureResult(
         figure="Figure 10",
         description=(
-            f"Analytics: execution time (cycles) for column-sum queries, "
+            f"Analytics: execution time ({metric}) for column-sum queries, "
             f"{scale.db_tuples} tuples"
         ),
         x_label="query / prefetch",
     )
+    prefetch_grid = (False, True) if mode == "event" else (False,)
     points = [
         (prefetch, query, layout)
-        for prefetch in (False, True)
+        for prefetch in prefetch_grid
         for query in QUERIES
         for layout in MECHANISMS
     ]
@@ -46,6 +54,7 @@ def run_figure10(
                 "num_tuples": scale.db_tuples,
                 "prefetch": prefetch,
             },
+            mode=mode,
         )
         for prefetch, query, layout in points
     ]
@@ -53,7 +62,9 @@ def run_figure10(
         label = f"{query.label}{' +pf' if prefetch else ''}"
         if not run.verified:
             raise WorkloadError(f"analytics answer wrong: {layout} {label}")
-        figure.add_point(layout, label, run.result.cycles)
+        figure.add_point(
+            layout, label, run.result.cycles or run.result.memory_accesses
+        )
 
     summary = ComparisonSummary(figure="Figure 10")
     summary.record(

@@ -43,7 +43,6 @@ from repro.sim.config import SystemConfig, table1_config
 from repro.sim.results import RunResult
 from repro.sim.system import System
 from repro.utils.bitops import is_power_of_two
-from repro.utils.statistics import Histogram, StatGroup
 from repro.vec.kernels import decompose_addresses, gather_addresses_batch
 from repro.vec.replay import (
     AccessTrace,
@@ -52,6 +51,7 @@ from repro.vec.replay import (
     replay_two_level,
     row_locality,
 )
+from repro.vec.shim import machine_shim
 from repro.vm.pattmalloc import PattAllocator
 
 #: Strides of the standard sweep: every multi-value stride the 3-bit
@@ -379,13 +379,6 @@ def _run_fast(
     )
 
 
-class _Attr:
-    """A bag of attributes (duck-typed component stand-in)."""
-
-    def __init__(self, **attrs) -> None:
-        self.__dict__.update(attrs)
-
-
 def _snapshot_shim(
     config: SystemConfig,
     result: RunResult,
@@ -393,71 +386,44 @@ def _snapshot_shim(
     l1_cache: ReplayCache,
     l2_cache: ReplayCache,
     profile,
-) -> _Attr:
+):
     """A registry-attachable stand-in for the machine a fast scan skips.
 
-    Fast-path runs must still emit metrics snapshots; this shim exposes
-    the same component shape ``ObsSession.attach`` walks (cores,
-    hierarchy, controller, engine) with the counts the replay derived,
-    under the same stat names the real components use.
+    Fast-path runs must still emit metrics snapshots; the count dicts
+    here feed :func:`repro.vec.shim.machine_shim`, which exposes the
+    component shape ``ObsSession.attach`` walks under the same stat
+    names the real components use.
     """
-    core_stats = StatGroup("core0")
-    core_stats.add("instructions", result.instructions)
-    core_stats.add("loads", result.loads)
-    if result.l2_misses:
-        core_stats.add("misses_blocked", result.l2_misses)
-    core_stats.add("finished")
 
-    def cache_stats(name: str, cache: ReplayCache, hits: int, misses: int):
-        stats = StatGroup(name)
-        if hits:
-            stats.add("hits", hits)
-        if misses:
-            stats.add("misses", misses)
-            stats.add("fills", misses)
-        evictions = misses - int((cache.tags != -1).sum())
-        if evictions > 0:
-            stats.add("evictions", evictions)
-        return stats
+    def cache_counts(cache: ReplayCache, hits: int, misses: int) -> dict:
+        # Fills == misses; evictions are fills that displaced a line.
+        return {
+            "hits": hits,
+            "misses": misses,
+            "fills": misses,
+            "evictions": max(0, misses - int((cache.tags != -1).sum())),
+        }
 
-    l1_stats = cache_stats("l1.core0", l1_cache, result.l1_hits,
-                           result.l1_misses)
-    # L1 fills come from both L2 hits and L2 misses; only L2 misses
-    # fill L2 itself.
-    l2_stats = cache_stats("l2", l2_cache, result.l2_hits, result.l2_misses)
-
-    controller_stats = StatGroup("memory_controller")
-    if result.dram_reads:
-        controller_stats.add("requests", result.dram_reads)
-        controller_stats.add("requests_read", result.dram_reads)
-        controller_stats.add("cmd_RD", result.dram_reads)
-    if patterned_reads:
-        controller_stats.add("requests_patterned", patterned_reads)
-    if profile.activates:
-        controller_stats.add("cmd_ACT", profile.activates)
-    if profile.precharges:
-        controller_stats.add("cmd_PRE", profile.precharges)
-    if profile.row_hits:
-        controller_stats.add("row_hits", profile.row_hits)
-    if profile.row_misses:
-        controller_stats.add("row_misses", profile.row_misses)
-
-    hierarchy = _Attr(
-        l1s=[_Attr(stats=l1_stats)],
-        l2=_Attr(stats=l2_stats),
-        stats=StatGroup("hierarchy"),
-        dbi=_Attr(stats=StatGroup("dbi")),
-        prefetcher=None,
-        tracer=None,
-    )
-    return _Attr(
-        cores=[_Attr(core_id=0, stats=core_stats)],
-        hierarchy=hierarchy,
-        controller=_Attr(
-            stats=controller_stats,
-            queue_delay=Histogram(bucket_width=50),
-            tracer=None,
-        ),
-        engine=_Attr(tracer=None, events_processed=0),
-        config=config,
+    return machine_shim(
+        config,
+        core_counts={
+            "instructions": result.instructions,
+            "loads": result.loads,
+            "misses_blocked": result.l2_misses,
+            "finished": 1,
+        },
+        # L1 fills come from both L2 hits and L2 misses; only L2 misses
+        # fill L2 itself.
+        l1_counts=cache_counts(l1_cache, result.l1_hits, result.l1_misses),
+        l2_counts=cache_counts(l2_cache, result.l2_hits, result.l2_misses),
+        controller_counts={
+            "requests": result.dram_reads,
+            "requests_read": result.dram_reads,
+            "requests_patterned": patterned_reads,
+            "cmd_RD": result.dram_reads,
+            "cmd_ACT": profile.activates,
+            "cmd_PRE": profile.precharges,
+            "row_hits": profile.row_hits,
+            "row_misses": profile.row_misses,
+        },
     )

@@ -19,10 +19,25 @@ from repro.perf.specs import RunSpec
 SPEC_FIGURES = ("fig9", "fig10", "fig11", "fig13")
 
 
-def figure_specs(figure: str, scale: Scale) -> list[RunSpec]:
-    """The representative runs for ``figure`` at ``scale``."""
+def figure_specs(figure: str, scale: Scale,
+                 mode: str = "event") -> list[RunSpec]:
+    """The representative runs for ``figure`` at ``scale``.
+
+    ``mode="fast"`` yields the vectorized twins of the same runs. Two
+    figures need workload tweaks to stay within the fast path's
+    deterministic envelope: fig10 drops the hardware prefetcher (the
+    fast substrate has no timing for it to react to), and fig11 runs
+    the phased fixed-count HTAP variant instead of the open-ended
+    two-core race. Those parameter differences are visible in the spec
+    (and therefore in the cache key), never silent.
+    """
     from repro.db.workload import FIGURE9_MIXES
 
+    if mode not in ("event", "fast"):
+        raise ConfigError(
+            f"unknown run mode {mode!r}; expected 'event' or 'fast'"
+        )
+    fast = mode == "fast"
     layouts = ("Row Store", "Column Store", "GS-DRAM")
     if figure == "fig9":
         mix = FIGURE9_MIXES[3]
@@ -36,6 +51,7 @@ def figure_specs(figure: str, scale: Scale) -> list[RunSpec]:
                     "count": scale.db_transactions,
                 },
                 seed=42,
+                mode=mode,
             )
             for layout in layouts
         ]
@@ -47,18 +63,23 @@ def figure_specs(figure: str, scale: Scale) -> list[RunSpec]:
                 params={
                     "query": (0,),
                     "num_tuples": scale.db_tuples,
-                    "prefetch": True,
+                    "prefetch": not fast,
                 },
+                mode=mode,
             )
             for layout in layouts
         ]
     if figure == "fig11":
+        params = {"num_tuples": scale.htap_tuples}
+        if fast:
+            params["txn_count"] = scale.db_transactions
         return [
             RunSpec(
                 kind="htap",
                 layout=layout,
-                params={"num_tuples": scale.htap_tuples},
+                params=dict(params),
                 config_overrides={"l2_size": scale.htap_l2_size},
+                mode=mode,
             )
             for layout in ("Row Store", "GS-DRAM")
         ]
@@ -68,6 +89,7 @@ def figure_specs(figure: str, scale: Scale) -> list[RunSpec]:
                 kind="gemm",
                 params={"variant": variant, "n": scale.gemm_sizes[0], **extra},
                 seed=3,
+                mode=mode,
             )
             for variant, extra in (
                 ("naive", {}),

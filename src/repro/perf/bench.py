@@ -79,6 +79,18 @@ def bench_cases(scale) -> list[BenchCase]:
                 ],
             )
         )
+        # The same figure on the vectorized engine: the wall-clock
+        # ratio against the event twin above is the per-figure
+        # fast-path speedup recorded in the "fastpath" block.
+        cases.append(
+            BenchCase(
+                f"{case_names[figure]}-fast",
+                specs=[
+                    dataclasses.replace(spec, obs="metrics")
+                    for spec in figure_specs(figure, scale, mode="fast")
+                ],
+            )
+        )
     # The same strided sweep on both substrates: the wall-clock ratio is
     # the recorded fast-path speedup (see docs/PERFORMANCE.md), and the
     # equivalence of the two results is asserted by repro.check.fastpath.
@@ -194,6 +206,12 @@ def compare_to_baseline(
     if old_total is None:
         verdict["status"] = "no-baseline-total"
         return verdict
+    old_scale = baseline.get("scale")
+    new_scale = payload.get("scale")
+    if old_scale is not None and new_scale is not None and old_scale != new_scale:
+        # Wall-clock across scales measures the scales, not the code.
+        verdict["status"] = "skipped-different-scale"
+        return verdict
     if not same_machine and not strict:
         verdict["status"] = "skipped-different-machine"
         return verdict
@@ -279,6 +297,19 @@ def run_bench(
             "fast_wall_s": fast_wall,
             "speedup": event_wall / fast_wall if fast_wall else None,
         }
+    figure_speedups = {}
+    for name, case in by_name.items():
+        if not name.endswith("-fast") or name[: -len("-fast")] not in by_name:
+            continue
+        event_wall = by_name[name[: -len("-fast")]]["wall_s"]
+        fast_wall = case["wall_s"]
+        figure_speedups[name[: -len("-fast")]] = {
+            "event_wall_s": event_wall,
+            "fast_wall_s": fast_wall,
+            "speedup": event_wall / fast_wall if fast_wall else None,
+        }
+    if figure_speedups:
+        fastpath = dict(fastpath or {}, figures=figure_speedups)
 
     payload = {
         "schema": 2,  # 2: attribution sourced from the metrics registry
@@ -350,6 +381,14 @@ def render_summary(payload: dict) -> str:
             f"({fastpath['event_wall_s']:.3f}s -> "
             f"{fastpath['fast_wall_s']:.3f}s)"
         )
+    if fastpath:
+        for figure, entry in sorted(fastpath.get("figures", {}).items()):
+            if entry.get("speedup"):
+                lines.append(
+                    f"  fast path {figure}: {entry['speedup']:.1f}x "
+                    f"({entry['event_wall_s']:.3f}s -> "
+                    f"{entry['fast_wall_s']:.3f}s)"
+                )
     verdict = payload.get("regression_check")
     if verdict:
         status = verdict["status"]

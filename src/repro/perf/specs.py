@@ -155,14 +155,12 @@ def _execute_driver(spec: RunSpec) -> Any:
     from repro.db.workload import AnalyticsQuery, TransactionMix
 
     params = dict(spec.params)
-    if spec.mode == "fast" and spec.kind in ("htap", "gemm"):
-        raise ConfigError(
-            f"kind {spec.kind!r} has no fast path (multi-core / "
-            "cycle-dependent output); use mode='event'"
-        )
     if spec.kind == "transactions":
         mix = params.pop("mix")
-        if not isinstance(mix, TransactionMix):
+        if isinstance(mix, dict):
+            # Wire form: dataclasses.asdict flattened the mix.
+            mix = TransactionMix(**mix)
+        elif not isinstance(mix, TransactionMix):
             mix = TransactionMix(*mix)
         if spec.seed is not None:
             params.setdefault("seed", spec.seed)
@@ -175,7 +173,9 @@ def _execute_driver(spec: RunSpec) -> Any:
         )
     if spec.kind == "analytics":
         query = params.pop("query")
-        if not isinstance(query, AnalyticsQuery):
+        if isinstance(query, dict):
+            query = AnalyticsQuery(tuple(query["fields"]))
+        elif not isinstance(query, AnalyticsQuery):
             query = AnalyticsQuery(tuple(query))
         return run_analytics(
             make_layout(spec.layout),
@@ -195,9 +195,12 @@ def _execute_driver(spec: RunSpec) -> Any:
             **params,
         )
     if spec.kind == "htap":
+        # mode="fast" requires params["txn_count"] (the phased variant);
+        # run_htap raises ConfigError for the open-ended fast combination.
         return run_htap(
             make_layout(spec.layout),
             config_overrides=dict(spec.config_overrides),
+            mode=spec.mode,
             **params,
         )
     if spec.kind == "gemm":
@@ -208,10 +211,10 @@ def _execute_driver(spec: RunSpec) -> Any:
         if spec.seed is not None:
             params.setdefault("seed", spec.seed)
         if variant == "naive":
-            return run_naive(overrides=overrides, **params)
+            return run_naive(overrides=overrides, mode=spec.mode, **params)
         if variant == "tiled":
-            return run_tiled(overrides=overrides, **params)
+            return run_tiled(overrides=overrides, mode=spec.mode, **params)
         if variant == "gs":
-            return run_gs(overrides=overrides, **params)
+            return run_gs(overrides=overrides, mode=spec.mode, **params)
         raise ConfigError(f"unknown gemm variant {variant!r}")
     raise ConfigError(f"unknown run kind {spec.kind!r}")

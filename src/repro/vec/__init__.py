@@ -17,12 +17,24 @@ batches that math over whole ``numpy`` int64 arrays:
   :class:`repro.sim.System` that runs the *same* cache hierarchy with
   an immediate (timing-free) memory controller, for workloads whose
   functional results do not depend on timing.
+- :mod:`repro.vec.hier` — :class:`DirtyReplay`, a metadata-only replay
+  of the full hierarchy + DBI + controller accounting over prepared
+  address arrays (no simulated machine, no byte movement).
+- :mod:`repro.vec.db` / :mod:`repro.vec.gemm` — phase 2: vectorized
+  twins of the DB query engines (:mod:`repro.db.engine`) and the GEMM
+  kernels (:mod:`repro.gemm.autotune`), dispatched via ``mode="fast"``
+  on the drivers and stat-identical to the event machine.
+- :mod:`repro.vec.shim` — observability stand-ins so fast runs appear
+  in :mod:`repro.obs` sessions with the same stat names as real
+  machines, and the event-side component snapshot the equivalence
+  battery compares against.
 
 Equivalence with the event-driven model is enforced by
 :mod:`repro.check.fastpath` (see docs/PERFORMANCE.md).
 """
 
 from repro.vec.fastpath import FastSystem, assert_fast_compatible, fast_supported
+from repro.vec.hier import DirtyReplay
 from repro.vec.kernels import (
     ctl_translate,
     decompose_addresses,
@@ -47,6 +59,7 @@ from repro.vec.replay import (
 
 __all__ = [
     "AccessTrace",
+    "DirtyReplay",
     "FastSystem",
     "ReplayCache",
     "RowProfile",

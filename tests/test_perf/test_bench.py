@@ -48,6 +48,13 @@ class TestCompareToBaseline:
         assert compare_to_baseline(new, old, 0.15, strict=True)["status"] \
             == "regression"
 
+    def test_different_scale_skipped_even_when_strict(self):
+        new = dict(_payload(9.0), scale="default")
+        old = dict(_payload(1.0), scale="quick")
+        for strict in (False, True):
+            assert compare_to_baseline(new, old, 0.15, strict)["status"] \
+                == "skipped-different-scale"
+
     def test_missing_baseline_total(self):
         verdict = compare_to_baseline(
             _payload(1.0), {"machine": machine_fingerprint()}, 0.15, False
@@ -72,7 +79,17 @@ class TestBenchCases:
         names = {case.name for case in bench_cases(scale_by_name("quick"))}
         assert names == {"fig7-patterns", "fig9-transactions",
                          "fig10-analytics", "fig11-htap", "fig13-gemm",
-                         "fig7-sweep-event", "fig7-sweep-fast"}
+                         "fig7-sweep-event", "fig7-sweep-fast",
+                         "fig9-transactions-fast", "fig10-analytics-fast",
+                         "fig11-htap-fast", "fig13-gemm-fast"}
+
+    def test_figure_fast_cases_use_fast_specs(self):
+        cases = {case.name: case for case in bench_cases(scale_by_name("quick"))}
+        for name in ("fig9-transactions-fast", "fig10-analytics-fast",
+                     "fig11-htap-fast", "fig13-gemm-fast"):
+            assert {s.mode for s in cases[name].specs} == {"fast"}, name
+            event_twin = cases[name.removesuffix("-fast")]
+            assert {s.mode for s in event_twin.specs} == {"event"}, name
 
     def test_sweep_cases_differ_only_in_mode(self):
         cases = {case.name: case for case in bench_cases(scale_by_name("quick"))}

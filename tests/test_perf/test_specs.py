@@ -136,10 +136,25 @@ class TestExecuteSpec:
         assert record.verified
         assert record.result.cycles == 0
 
-    @pytest.mark.parametrize("kind,params", [
-        ("htap", {}),
-        ("gemm", {"variant": "direct", "n": 8}),
-    ])
-    def test_fast_mode_rejected_for_cycle_dependent_kinds(self, kind, params):
-        with pytest.raises(ConfigError):
-            execute_spec(RunSpec(kind=kind, params=params, mode="fast"))
+    def test_fast_mode_rejected_for_open_ended_htap(self):
+        # Without txn_count the HTAP committed-transaction count is
+        # timing-dependent; only the phased variant has a fast path.
+        with pytest.raises(ConfigError, match="no fast path"):
+            execute_spec(RunSpec(kind="htap", layout="Row Store", params={},
+                                 mode="fast"))
+
+    def test_fast_mode_runs_phased_htap(self):
+        record = execute_spec(
+            RunSpec(kind="htap", layout="Row Store",
+                    params={"num_tuples": 256, "txn_count": 20}, mode="fast")
+        )
+        assert record.verified
+        assert record.result.cycles == 0
+
+    def test_fast_mode_runs_gemm(self):
+        record = execute_spec(
+            RunSpec(kind="gemm", params={"variant": "gs", "n": 16, "tile": 8},
+                    mode="fast")
+        )
+        assert record.verified
+        assert record.result.cycles == 0

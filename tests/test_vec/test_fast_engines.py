@@ -1,0 +1,124 @@
+"""Vectorized DB/GEMM engines vs the event machine (phase 2 tentpole).
+
+Deterministic spot checks that the ``mode="fast"`` drivers return
+element-exact functional results *and* identical per-component
+statistics (controller / L1 / L2 / hierarchy / DBI) to the event-driven
+reference. The randomized wide-net version of the same property lives
+in ``test_fuzz_fast_engines.py`` under the ``fuzz`` marker.
+"""
+
+import pytest
+
+from repro.db.engine import run_analytics, run_htap, run_transactions
+from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
+from repro.db.workload import AnalyticsQuery, HTAPWorkload, TransactionMix
+from repro.errors import ConfigError
+from repro.gemm.autotune import best_gs, best_tiled, run_gs, run_naive, run_tiled
+
+LAYOUTS = (RowStore, ColumnStore, GSDRAMStore)
+
+STAT_COMPONENTS = ("controller", "l1", "l2", "hierarchy", "dbi")
+
+FUNCTIONAL_FIELDS = (
+    "instructions", "loads", "stores", "l1_hits", "l1_misses", "l2_hits",
+    "l2_misses", "dram_reads", "dram_writes", "row_hits", "row_misses",
+    "coherence_invalidations", "writebacks",
+)
+
+
+def assert_equivalent(event, fast):
+    """Full-stat equality between an event record and its fast twin."""
+    assert event.verified and fast.verified
+    for name in FUNCTIONAL_FIELDS:
+        assert getattr(event.result, name) == getattr(fast.result, name), name
+    assert fast.result.cycles == 0
+    assert fast.result.extra.get("fast_path") == 1.0
+    assert event.component_stats is not None
+    assert fast.component_stats is not None
+    for component in STAT_COMPONENTS:
+        event_stats = event.component_stats.get(component, {})
+        fast_stats = fast.component_stats.get(component, {})
+        for key in sorted(set(event_stats) | set(fast_stats)):
+            assert event_stats.get(key, 0) == fast_stats.get(key, 0), (
+                f"{component}.{key}: event={event_stats.get(key, 0)} "
+                f"fast={fast_stats.get(key, 0)}"
+            )
+    if hasattr(event, "answer"):
+        assert event.answer == fast.answer
+
+
+class TestTransactions:
+    @pytest.mark.parametrize("layout_cls", LAYOUTS)
+    def test_mixed_workload_stat_exact(self, layout_cls):
+        mix = TransactionMix(2, 2, 2)
+        kwargs = dict(num_tuples=256, count=40, seed=7)
+        event = run_transactions(layout_cls(), mix, mode="event", **kwargs)
+        fast = run_transactions(layout_cls(), mix, mode="fast", **kwargs)
+        assert_equivalent(event, fast)
+
+    def test_write_only_updates_apply_in_order(self):
+        # Repeated writes to the same tuples: last-write-wins must match
+        # the oracle (fast path verifies final rows against it).
+        mix = TransactionMix(0, 6, 0)
+        fast = run_transactions(GSDRAMStore(), mix, num_tuples=64,
+                                count=60, seed=3, mode="fast")
+        assert fast.verified
+
+
+class TestAnalytics:
+    @pytest.mark.parametrize("layout_cls", LAYOUTS)
+    @pytest.mark.parametrize("fields", [(0,), (0, 3, 5)])
+    def test_column_sums_stat_exact(self, layout_cls, fields):
+        query = AnalyticsQuery(fields)
+        event = run_analytics(layout_cls(), query, num_tuples=256,
+                              mode="event")
+        fast = run_analytics(layout_cls(), query, num_tuples=256, mode="fast")
+        assert_equivalent(event, fast)
+
+
+class TestHTAP:
+    @pytest.mark.parametrize("layout_cls", LAYOUTS)
+    def test_phased_variant_stat_exact(self, layout_cls):
+        kwargs = dict(num_tuples=256, txn_count=30)
+        event = run_htap(layout_cls(), HTAPWorkload(), mode="event", **kwargs)
+        fast = run_htap(layout_cls(), HTAPWorkload(), mode="fast", **kwargs)
+        assert_equivalent(event, fast)
+
+    def test_open_ended_fast_rejected(self):
+        with pytest.raises(ConfigError, match="no fast path"):
+            run_htap(RowStore(), HTAPWorkload(), num_tuples=256, mode="fast")
+
+
+class TestGemm:
+    def test_naive_stat_exact(self):
+        event = run_naive(16, mode="event")
+        fast = run_naive(16, mode="fast")
+        assert_equivalent(event, fast)
+
+    @pytest.mark.parametrize("tile", [8, 16])
+    def test_tiled_stat_exact(self, tile):
+        event = run_tiled(16, tile, mode="event")
+        fast = run_tiled(16, tile, mode="fast")
+        assert_equivalent(event, fast)
+
+    @pytest.mark.parametrize("tile", [8, 16])
+    def test_gs_stat_exact(self, tile):
+        event = run_gs(16, tile, mode="event")
+        fast = run_gs(16, tile, mode="fast")
+        assert_equivalent(event, fast)
+
+    def test_best_search_runs_in_fast_mode(self):
+        # Fast-mode best-tile search ranks by DRAM traffic (cycles are
+        # zero); it must sweep the same candidates and return a verified
+        # run at a legal tile. The chosen tile may differ from the
+        # event-mode (cycle-ranked) winner in close calls — that is a
+        # documented property of the traffic proxy, not a divergence.
+        for search in (best_tiled, best_gs):
+            run = search(32, mode="fast")
+            assert run.verified
+            assert run.tile in (8, 16, 32)
+            assert run.result.cycles == 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            run_naive(16, mode="approximate")

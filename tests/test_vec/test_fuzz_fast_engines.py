@@ -1,0 +1,102 @@
+"""Property fuzzing: vectorized DB/GEMM engines vs the event machine.
+
+Randomized wide-net version of ``test_fast_engines.py``: Hypothesis
+draws tables, transaction mixes (including write-heavy in-place update
+patterns), query field subsets, and GEMM shapes; every draw must be
+element-exact and stat-exact between ``mode="event"`` and
+``mode="fast"``. Run explicitly with ``-m fuzz`` (CI's fuzz job does).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.engine import run_analytics, run_htap, run_transactions
+from repro.db.layouts import ColumnStore, GSDRAMStore, RowStore
+from repro.db.workload import AnalyticsQuery, HTAPWorkload, TransactionMix
+
+from .test_fast_engines import assert_equivalent
+
+pytestmark = [pytest.mark.fuzz, pytest.mark.slow]
+
+layouts = st.sampled_from([RowStore, ColumnStore, GSDRAMStore])
+
+# Mix counts cover read-only, write-only (pure in-place updates), and
+# read-write transactions; at least one op per transaction.
+mixes = st.tuples(
+    st.integers(0, 4), st.integers(0, 4), st.integers(0, 3)
+).filter(lambda t: sum(t) > 0 and sum(t) + t[2] <= 8).map(
+    lambda t: TransactionMix(*t)
+)
+
+
+@given(
+    layout_cls=layouts,
+    mix=mixes,
+    num_tuples=st.sampled_from([64, 128, 256]),
+    count=st.integers(1, 30),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_transactions_event_vs_fast(layout_cls, mix, num_tuples, count, seed):
+    kwargs = dict(num_tuples=num_tuples, count=count, seed=seed)
+    event = run_transactions(layout_cls(), mix, mode="event", **kwargs)
+    fast = run_transactions(layout_cls(), mix, mode="fast", **kwargs)
+    assert_equivalent(event, fast)
+
+
+@given(
+    layout_cls=layouts,
+    fields=st.sets(st.integers(0, 7), min_size=1, max_size=4),
+    num_tuples=st.sampled_from([64, 128, 256]),
+)
+@settings(max_examples=15, deadline=None)
+def test_analytics_event_vs_fast(layout_cls, fields, num_tuples):
+    query = AnalyticsQuery(tuple(sorted(fields)))
+    event = run_analytics(layout_cls(), query, num_tuples=num_tuples,
+                          mode="event")
+    fast = run_analytics(layout_cls(), query, num_tuples=num_tuples,
+                         mode="fast")
+    assert_equivalent(event, fast)
+
+
+@given(
+    layout_cls=layouts,
+    txn_count=st.integers(1, 24),
+    analytics_field=st.integers(0, 7),
+    txn_seed=st.integers(0, 2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_htap_phased_event_vs_fast(layout_cls, txn_count, analytics_field,
+                                   txn_seed):
+    workload = HTAPWorkload(
+        analytics=AnalyticsQuery((analytics_field,)),
+        txn_mix=TransactionMix(1, 1, 0),
+        txn_seed=txn_seed,
+    )
+    kwargs = dict(num_tuples=128, txn_count=txn_count)
+    event = run_htap(layout_cls(), workload, mode="event", **kwargs)
+    fast = run_htap(layout_cls(), workload, mode="fast", **kwargs)
+    assert_equivalent(event, fast)
+
+
+@given(
+    variant=st.sampled_from(["naive", "tiled", "gs"]),
+    n=st.sampled_from([8, 16, 24]),
+    tile=st.sampled_from([8, 16]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_gemm_event_vs_fast(variant, n, tile, seed):
+    from repro.gemm.autotune import run_gs, run_naive, run_tiled
+
+    if variant == "naive":
+        event = run_naive(n, seed=seed, mode="event")
+        fast = run_naive(n, seed=seed, mode="fast")
+    else:
+        if n % tile != 0:
+            tile = 8
+        runner = run_tiled if variant == "tiled" else run_gs
+        event = runner(n, tile, seed=seed, mode="event")
+        fast = runner(n, tile, seed=seed, mode="fast")
+    assert_equivalent(event, fast)

@@ -93,6 +93,18 @@ def run_figures(scale_name: str, jobs: int | None = None) -> int:
 def run_bench_command(args) -> int:
     from repro.perf.bench import render_summary, run_bench
 
+    if args.cluster is not None:
+        from repro.perf.bench import render_cluster_summary, run_cluster_bench
+
+        payload, exit_code = run_cluster_bench(
+            scale_name=args.scale,
+            cluster=args.cluster,
+            results_dir=args.results_dir,
+            write=not args.dry_run,
+        )
+        print(render_cluster_summary(payload))
+        return exit_code
+
     payload, exit_code = run_bench(
         scale_name=args.scale,
         jobs=args.jobs,
@@ -145,6 +157,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="measure and write only; never fail")
     bench.add_argument("--dry-run", action="store_true",
                        help="do not write a BENCH_*.json file")
+    bench.add_argument("--cluster", type=int, default=None, metavar="N",
+                       help="time a sharded figure sweep at cluster sizes "
+                            "1 and N; writes CLUSTER_*.json instead")
     from repro.harness.specsets import SPEC_FIGURES
 
     trace = sub.add_parser(
@@ -204,6 +219,11 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--drain-deadline", type=float, default=30.0,
                               help="seconds open jobs get on graceful "
                                    "shutdown (default 30)")
+    serve_parser.add_argument("--cluster", type=int, default=None,
+                              metavar="N",
+                              help="shard execution across N in-process "
+                                   "workers behind this server "
+                                   "(docs/SERVING.md)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request log lines")
 

@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--service-lines", type=int, default=64,
         help="patternscan size for the service differential (default: 64)",
     )
+    parser.add_argument(
+        "--skip-cluster", action="store_true",
+        help="skip the sharded-cluster-vs-direct differential",
+    )
     return parser
 
 
@@ -93,6 +97,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check.service import run_service_check
 
         report = run_service_check(lines=args.service_lines)
+        print(report.render())
+        if not report.ok:
+            failures += len(report.divergences)
+
+    if not args.skip_cluster:
+        from repro.check.cluster import run_cluster_check
+
+        report = run_cluster_check(lines=args.service_lines)
         print(report.render())
         if not report.ok:
             failures += len(report.divergences)

@@ -1,0 +1,170 @@
+"""Cluster-level differential: sharded execution changes nothing.
+
+The cluster layer (:mod:`repro.serve.cluster`) re-routes, steals,
+speculates, and re-executes work; none of that may change a single
+result bit. :func:`run_cluster_check` executes one fig7-style sweep
+three ways and requires digest-identical records:
+
+- **direct** — every spec through :func:`repro.perf.specs.execute_spec`
+  in this process (the ground truth);
+- **cluster** — the same sweep through a :class:`LocalCluster` of
+  stock workers driven by a :class:`ClusterCoordinator`;
+- **cluster under fire** — the sweep again on a fresh fleet, with one
+  worker killed (simulated crash: no drain, no journal flush) right
+  after it accepts its first job. The coordinator must detect the
+  death, resubmit the dead worker's jobs elsewhere, and still produce
+  the direct digests.
+
+Digest equality uses :func:`repro.serve.protocol.result_digest`, the
+same pinned-pickle digest the single-server differential
+(:mod:`repro.check.service`) uses — so the whole stack from in-process
+call to crash-tolerant sharded sweep is held to one oracle.
+
+Wired into ``repro check`` (skippable with ``--skip-cluster``) and the
+CI cluster-smoke job.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from dataclasses import dataclass, field
+
+from repro.perf.cache import ResultCache
+from repro.perf.specs import RunSpec, cache_key, execute_spec
+from repro.serve.cluster import LocalCluster
+from repro.serve.protocol import result_digest
+from repro.serve.server import ServeConfig
+
+
+@dataclass
+class ClusterDivergence:
+    label: str
+    detail: str
+
+    def render(self) -> str:
+        return f"  {self.label}: {self.detail}"
+
+
+@dataclass
+class ClusterReportCard:
+    checks: int = 0
+    divergences: list[ClusterDivergence] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"[cluster] sharded-vs-direct differential: {status} "
+            f"({self.checks} checks, {len(self.divergences)} divergences)"
+        ]
+        if self.stats:
+            lines.append(
+                "  under fire: "
+                f"deaths_survived={self.stats.get('replacements', 0) > 0}, "
+                f"resubmissions={self.stats.get('replacements', 0)}, "
+                f"submitted={self.stats.get('submitted', 0)}"
+            )
+        lines.extend(d.render() for d in self.divergences)
+        return "\n".join(lines)
+
+
+def _sweep_specs(lines: int) -> list[RunSpec]:
+    """A small fig7-style sweep across both variants and substrates."""
+    return [
+        RunSpec(
+            kind="patternscan",
+            params={"variant": variant, "stride": stride, "lines": lines},
+            mode=mode,
+        )
+        for variant in ("scalar", "gathered")
+        for stride in (2, 4, 8)
+        for mode in ("fast", "event")
+    ]
+
+
+def _worker_config() -> ServeConfig:
+    return ServeConfig(
+        port=0, executor="thread", workers=1, state_dir=None,
+        max_inflight=10_000, request_log=False,
+    )
+
+
+def _compare(
+    report: ClusterReportCard,
+    label: str,
+    specs: list[RunSpec],
+    expected: dict[str, str],
+    cluster_report,
+) -> None:
+    for spec, record in zip(specs, cluster_report.records):
+        report.checks += 1
+        key = cache_key(spec)
+        want = expected[key]
+        if record is None:
+            report.divergences.append(ClusterDivergence(
+                label, f"no record for {spec.params} mode={spec.mode}"
+            ))
+            continue
+        got = result_digest(record)
+        if got != want:
+            report.divergences.append(ClusterDivergence(
+                label,
+                f"digest mismatch for {spec.params} mode={spec.mode}: "
+                f"direct={want[:16]} cluster={got[:16]}",
+            ))
+
+
+def run_cluster_check(
+    lines: int = 64, workers: int = 3
+) -> ClusterReportCard:
+    """The three-way battery; returns a report suitable for ``repro check``."""
+    report = ClusterReportCard()
+    specs = _sweep_specs(lines)
+    expected = {cache_key(s): result_digest(execute_spec(s)) for s in specs}
+
+    # Healthy fleet.
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-check") as tmp:
+        cache = ResultCache(f"{tmp}/cache")
+        with LocalCluster(workers, cache=cache,
+                          config=_worker_config()) as fleet:
+            healthy = fleet.coordinator(poll=0.02).run_sweep(specs)
+        _compare(report, "healthy", specs, expected, healthy)
+
+    # Same sweep, one worker assassinated after its first acceptance.
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-check") as tmp:
+        cache = ResultCache(f"{tmp}/cache")
+        with LocalCluster(workers, cache=cache,
+                          config=_worker_config()) as fleet:
+            killed: list[str] = []
+            lock = threading.Lock()
+
+            def assassin(worker: str, job_id: str, key: str) -> None:
+                with lock:
+                    if killed:
+                        return
+                    killed.append(worker)
+                index = int(worker.rsplit("-", 1)[1])
+                # Kill from another thread: kill() joins the worker
+                # thread, and the coordinator must keep driving the
+                # sweep while the crash is in progress.
+                threading.Thread(
+                    target=fleet.kill_worker, args=(index,), daemon=True
+                ).start()
+
+            coordinator = fleet.coordinator(
+                poll=0.02, after_submit=assassin
+            )
+            under_fire = coordinator.run_sweep(specs)
+        _compare(report, "worker-killed", specs, expected, under_fire)
+        report.stats = under_fire.stats
+        report.checks += 1
+        if not killed:
+            report.divergences.append(ClusterDivergence(
+                "worker-killed", "assassin hook never fired"
+            ))
+    return report

@@ -54,7 +54,10 @@ class ResultCache:
     def __init__(self, root: str | os.PathLike, version: str | None = None) -> None:
         self.root = pathlib.Path(root)
         self.version = code_version() if version is None else version
-        self.stats = {"hits": 0, "misses": 0, "stores": 0, "poisoned": 0}
+        self.stats = {
+            "hits": 0, "misses": 0, "stores": 0, "poisoned": 0,
+            "stale_tmp": 0,
+        }
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> pathlib.Path:
@@ -115,12 +118,22 @@ class ResultCache:
         self.stats["stores"] += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry and stale temp file; returns total removed.
+
+        ``*.tmp`` files are the leavings of interrupted :meth:`put`
+        calls (mkstemp file written, never renamed): invisible to
+        :meth:`get`, but they accumulate forever unless swept here.
+        Swept temps are counted in ``stats["stale_tmp"]``.
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for path in self.root.glob("*.tmp"):
+                path.unlink(missing_ok=True)
+                removed += 1
+                self.stats["stale_tmp"] += 1
         return removed
 
     @property

@@ -1,0 +1,65 @@
+"""Deterministic spec partitioning for sharded sweep execution.
+
+The cluster coordinator (:mod:`repro.serve.cluster`) splits a figure
+sweep across N workers. The split must be a pure function of the specs
+themselves — not of submission order, process identity, or time — so
+that any participant (coordinator, worker, a differential check) can
+recompute "which worker owns this spec" independently and agree.
+
+:func:`stable_shard` is that function: sha256 of the spec's canonical
+cache key, reduced mod the shard count. ``hash()`` would not do; it is
+salted per process (PYTHONHASHSEED), so two processes would disagree.
+
+Sharding by *cache key* (rather than round-robin over a list) has a
+second property the cluster leans on: identical specs always land on
+the same worker, so the worker's own coalescing deduplicates them
+exactly as a single server would, and the shared
+:class:`~repro.perf.cache.ResultCache` sees one writer per key in the
+common case.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.perf.specs import RunSpec, cache_key
+
+
+def stable_shard(key: str, shards: int) -> int:
+    """Deterministic shard index for a cache key, identical everywhere.
+
+    Any process can recompute an assignment without asking the
+    coordinator: the index depends only on ``(key, shards)``.
+    """
+    if shards < 1:
+        raise ConfigError(f"shard count must be >= 1, got {shards}")
+    raw = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(raw[:8], "big") % shards
+
+
+def shard_for_spec(spec: RunSpec, shards: int) -> int:
+    """The shard that owns ``spec`` (by its canonical cache key)."""
+    return stable_shard(cache_key(spec), shards)
+
+
+def partition_specs(
+    specs: Sequence[RunSpec], shards: int
+) -> list[list[RunSpec]]:
+    """Split ``specs`` into ``shards`` lists by stable cache-key hash.
+
+    Every shard list preserves the relative order of the input (so a
+    worker executes its slice in sweep order), and the concatenation of
+    all lists is a permutation of the input. Empty shards stay as empty
+    lists — callers index the result by shard number.
+    """
+    parts: list[list[RunSpec]] = [[] for _ in range(shards)]
+    for spec in specs:
+        parts[shard_for_spec(spec, shards)].append(spec)
+    return parts
+
+
+def partition_counts(specs: Sequence[RunSpec], shards: int) -> list[int]:
+    """Per-shard spec counts — the balance diagnostic for logs/bench."""
+    return [len(part) for part in partition_specs(specs, shards)]

@@ -1,0 +1,786 @@
+"""Sharded multi-worker cluster on top of the simulation service.
+
+One :class:`~repro.serve.server.SimulationServer` executes jobs well;
+figure sweeps are hundreds of independent specs, so the natural next
+step is several servers executing shards of one sweep. This module
+adds the coordination layer without changing the workers at all — a
+worker in a cluster is a stock server; everything cluster-specific
+lives on the client side of its HTTP API:
+
+- :class:`HashRing` / :class:`WorkerRegistry` — consistent hashing of
+  cache keys onto live workers (virtual nodes keep the split even);
+  a dead worker only reassigns its own keys.
+- :class:`ClusterCoordinator` — drives a whole sweep: places each
+  unique spec on its ring owner, polls for completion, **steals** work
+  that sits queued on a slow worker, **speculates** a second attempt
+  for a long-running job (first digest wins), honours ``Retry-After``
+  backpressure from worker admission control, and survives worker
+  death by resubmitting the dead worker's open jobs elsewhere.
+- :class:`LocalCluster` — boots N in-process workers (daemon threads,
+  ephemeral ports) that share one :class:`~repro.perf.cache.ResultCache`
+  and keep per-worker journals, for tests, checks, and
+  ``repro bench --cluster N``.
+- :class:`ClusterRunner` — the server-side seam: a drop-in
+  :class:`~repro.serve.server.JobRunner` replacement that dispatches
+  jobs to cluster workers, so ``repro serve --cluster N`` exposes the
+  ordinary single-server API backed by a worker fleet.
+
+Correctness is anchored on the result digest: a spec executed by any
+worker must produce byte-identical normalized pickles
+(:func:`~repro.serve.protocol.result_digest`), so duplicated attempts
+— whether speculative or from crash recovery — are *checked* against
+each other (:func:`~repro.serve.protocol.reconcile_digests`) rather
+than trusted. Two workers disagreeing on one spec fails the sweep
+loudly; determinism is the paper-reproduction contract, and the
+cluster inherits it for free only if it refuses to paper over
+violations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import dataclasses
+import hashlib
+import logging
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError, ReproError
+from repro.perf.cache import ResultCache
+from repro.perf.specs import RunSpec, cache_key
+from repro.serve import protocol
+from repro.serve.client import RateLimited, ServeClient, ServeError
+from repro.serve.server import ServeConfig
+from repro.serve.testing import ServerThread
+
+logger = logging.getLogger("repro.serve.cluster")
+
+
+class ClusterError(ReproError):
+    """The cluster cannot make progress (no live workers, digest split)."""
+
+
+# ----------------------------------------------------------------------
+# Placement: consistent hashing over live workers
+# ----------------------------------------------------------------------
+class HashRing:
+    """Consistent hash ring with virtual nodes.
+
+    Each node is hashed onto the ring ``replicas`` times; a key is
+    owned by the first node point at or after the key's own hash.
+    Removing a node therefore only moves the keys it owned — the other
+    workers' caches and journals keep their assignments, which is the
+    whole reason to prefer a ring over ``stable_shard(key, n_alive)``
+    when membership can change mid-sweep.
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(label: str) -> int:
+        raw = hashlib.sha256(label.encode("utf-8")).digest()
+        return int.from_bytes(raw[:8], "big")
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            bisect.insort(self._points, (self._hash(f"{node}\0{replica}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def assign(self, key: str) -> str:
+        """The node owning ``key``; raises when the ring is empty."""
+        return self.preference(key)[0]
+
+    def preference(self, key: str) -> list[str]:
+        """All nodes in failover order for ``key`` (owner first).
+
+        Walking clockwise from the key's hash and keeping first
+        occurrences yields a deterministic, per-key-distinct ordering:
+        the natural resubmission order when the owner dies.
+        """
+        if not self._points:
+            raise ClusterError("hash ring is empty: no live workers")
+        start = bisect.bisect_left(self._points, (self._hash(key), ""))
+        ordered: list[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in ordered:
+                ordered.append(node)
+                if len(ordered) == len(self._nodes):
+                    break
+        return ordered
+
+
+@dataclass
+class WorkerHandle:
+    """One worker endpoint as the coordinator sees it."""
+
+    name: str
+    host: str
+    port: int
+    #: Stable shard annotation carried on this worker's submissions.
+    index: int = 0
+    alive: bool = True
+
+    def client(self, client_id: str = "cluster", timeout: float = 60.0) -> ServeClient:
+        return ServeClient(
+            host=self.host, port=self.port,
+            client_id=client_id, timeout=timeout,
+        )
+
+
+class WorkerRegistry:
+    """Live-membership view of the worker fleet, with ring placement."""
+
+    def __init__(
+        self, handles: Sequence[WorkerHandle] = (), replicas: int = 64
+    ) -> None:
+        self.replicas = replicas
+        self._handles: dict[str, WorkerHandle] = {}
+        self._ring: HashRing | None = None
+        for handle in handles:
+            self.add(handle)
+
+    def add(self, handle: WorkerHandle) -> None:
+        if handle.name in self._handles:
+            raise ConfigError(f"duplicate worker name {handle.name!r}")
+        handle.index = len(self._handles)
+        self._handles[handle.name] = handle
+        self._ring = None
+
+    def get(self, name: str) -> WorkerHandle:
+        return self._handles[name]
+
+    def all(self) -> list[WorkerHandle]:
+        return list(self._handles.values())
+
+    def alive(self) -> list[WorkerHandle]:
+        return [h for h in self._handles.values() if h.alive]
+
+    def mark_dead(self, name: str) -> None:
+        handle = self._handles[name]
+        if handle.alive:
+            handle.alive = False
+            self._ring = None
+            logger.info("worker %s marked dead", name)
+
+    def mark_alive(self, name: str, host: str | None = None,
+                   port: int | None = None) -> None:
+        """Re-admit a restarted worker (possibly on a new port)."""
+        handle = self._handles[name]
+        if host is not None:
+            handle.host = host
+        if port is not None:
+            handle.port = port
+        if not handle.alive:
+            handle.alive = True
+            self._ring = None
+
+    def ring(self) -> HashRing:
+        if self._ring is None:
+            self._ring = HashRing(
+                [h.name for h in self.alive()], replicas=self.replicas
+            )
+        return self._ring
+
+    def assign(self, key: str) -> WorkerHandle:
+        return self._handles[self.ring().assign(key)]
+
+    def preference(self, key: str) -> list[WorkerHandle]:
+        """Live workers in failover order for ``key``."""
+        return [self._handles[name] for name in self.ring().preference(key)]
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class Attempt:
+    """One submission of one spec to one worker."""
+
+    worker: str
+    job_id: str
+    born: float
+    state: str = protocol.QUEUED
+    running_since: float | None = None
+    digest: str | None = None
+    dead: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.worker}/{self.job_id}"
+
+
+class _Pending:
+    """Coordinator-side state for one unique spec (cache key)."""
+
+    __slots__ = (
+        "key", "spec", "attempts", "record", "digest", "resolved",
+        "speculated", "stolen", "replacements", "last_error",
+    )
+
+    def __init__(self, key: str, spec: RunSpec) -> None:
+        self.key = key
+        self.spec = spec
+        self.attempts: list[Attempt] = []
+        self.record: Any = None
+        self.digest: str | None = None
+        self.resolved = False
+        self.speculated = False
+        self.stolen = False
+        self.replacements = 0
+        self.last_error: str | None = None
+
+    def live(self) -> list[Attempt]:
+        return [a for a in self.attempts if not a.dead]
+
+    def workers_tried(self) -> set[str]:
+        return {a.worker for a in self.attempts}
+
+
+@dataclass
+class ClusterReport:
+    """What a coordinated sweep produced, and how."""
+
+    records: list[Any]
+    digests: dict[str, str]
+    stats: dict[str, int]
+    per_worker: dict[str, int]
+    duration_seconds: float
+    unique_specs: int
+
+
+class ClusterCoordinator:
+    """Drives one sweep across the registry's workers (synchronous).
+
+    The coordinator is a *client* of stock servers: placement,
+    stealing, speculation, and failover are all expressed as ordinary
+    submit/status/cancel calls, so the same coordinator would drive
+    out-of-process workers unchanged.
+    """
+
+    def __init__(
+        self,
+        registry: WorkerRegistry,
+        client_id: str = "cluster",
+        steal_after: float = 5.0,
+        speculate_after: float = 30.0,
+        poll: float = 0.05,
+        backoff_cap: float = 1.0,
+        request_timeout: float = 60.0,
+        after_submit: Callable[[str, str, str], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.registry = registry
+        self.client_id = client_id
+        self.steal_after = steal_after
+        self.speculate_after = speculate_after
+        self.poll = poll
+        self.backoff_cap = backoff_cap
+        self.request_timeout = request_timeout
+        #: Test hook: called as ``after_submit(worker, job_id, key)``
+        #: right after every successful submission — deterministic
+        #: kill-the-worker-mid-sweep scenarios hang off this.
+        self.after_submit = after_submit
+        self._clock = clock
+        self._sleep = sleep
+        self.stats = {
+            "submitted": 0, "stolen": 0, "speculated": 0,
+            "rate_limited": 0, "worker_deaths": 0,
+            "attempt_failures": 0, "replacements": 0,
+        }
+
+    # -- submission helpers --------------------------------------------
+    def _client(self, handle: WorkerHandle) -> ServeClient:
+        return handle.client(self.client_id, timeout=self.request_timeout)
+
+    def _mark_dead(self, handle: WorkerHandle) -> None:
+        if handle.alive:
+            self.registry.mark_dead(handle.name)
+            self.stats["worker_deaths"] += 1
+
+    def _submit(
+        self, pending: _Pending, handle: WorkerHandle, priority: int
+    ) -> bool:
+        """Submit ``pending`` to ``handle``; True on success.
+
+        Rate limiting is backpressure, not failure: back off for the
+        server's advertised ``Retry-After`` (capped) and retry the same
+        worker. Transport errors mark the worker dead and report
+        failure so the caller falls over to the next preference.
+        """
+        client = self._client(handle)
+        while True:
+            try:
+                body = client.submit(
+                    pending.spec, priority=priority, shard=handle.index
+                )
+            except RateLimited as limited:
+                self.stats["rate_limited"] += 1
+                self._sleep(min(limited.retry_after or self.backoff_cap,
+                                self.backoff_cap))
+                continue
+            except ServeError as error:
+                pending.last_error = str(error)
+                self._mark_dead(handle)
+                return False
+            job_id = body["job"]["job_id"]
+            pending.attempts.append(
+                Attempt(worker=handle.name, job_id=job_id, born=self._clock())
+            )
+            self.stats["submitted"] += 1
+            if self.after_submit is not None:
+                self.after_submit(handle.name, job_id, pending.key)
+            return True
+
+    def _place(
+        self, pending: _Pending, priority: int, avoid: set[str] = frozenset()
+    ) -> None:
+        """Submit ``pending`` to the best live worker not in ``avoid``."""
+        for handle in self.registry.preference(pending.key):
+            if handle.name in avoid:
+                continue
+            if self._submit(pending, handle, priority):
+                return
+        # Every non-avoided worker refused; fall back to any live one.
+        for handle in self.registry.preference(pending.key):
+            if self._submit(pending, handle, priority):
+                return
+        raise ClusterError(
+            f"no live worker accepted spec {pending.key[:32]}...: "
+            f"{pending.last_error}"
+        )
+
+    # -- polling -------------------------------------------------------
+    def _observe(self, pending: _Pending, attempt: Attempt) -> None:
+        """Refresh one attempt's state from its worker."""
+        handle = self.registry.get(attempt.worker)
+        if not handle.alive:
+            attempt.dead = True
+            return
+        try:
+            view = self._client(handle).status(attempt.job_id)
+        except ServeError as error:
+            if error.status == 404:
+                # The worker restarted without this job (journal loss
+                # or compaction): the attempt is gone, not the worker.
+                attempt.dead = True
+                self.stats["attempt_failures"] += 1
+            else:
+                self._mark_dead(handle)
+                attempt.dead = True
+            pending.last_error = str(error)
+            return
+        attempt.state = view["state"]
+        if view["state"] == protocol.RUNNING and attempt.running_since is None:
+            attempt.running_since = self._clock()
+        if view["state"] == protocol.DONE:
+            attempt.digest = view.get("digest")
+            if not pending.resolved:
+                self._resolve(pending, attempt, handle)
+        elif view["state"] in (protocol.FAILED, protocol.CANCELLED):
+            attempt.dead = True
+            if view["state"] == protocol.FAILED:
+                self.stats["attempt_failures"] += 1
+                pending.last_error = view.get("error") or "job failed"
+
+    def _resolve(
+        self, pending: _Pending, attempt: Attempt, handle: WorkerHandle
+    ) -> None:
+        """First finished attempt wins: fetch and keep its record."""
+        try:
+            encoded = self._client(handle).result(attempt.job_id, decode=False)
+        except ServeError as error:
+            # Worker died between status and result: the attempt is
+            # lost after all; another attempt (or replacement) wins.
+            self._mark_dead(handle)
+            attempt.dead = True
+            pending.last_error = str(error)
+            return
+        pending.record = protocol.decode_result(encoded)
+        pending.digest = encoded["digest"]
+        attempt.digest = encoded["digest"]
+        pending.resolved = True
+
+    def _cancel_quietly(self, attempt: Attempt) -> None:
+        handle = self.registry.get(attempt.worker)
+        if not handle.alive:
+            return
+        try:
+            self._client(handle).cancel(attempt.job_id)
+        except ServeError:
+            pass
+
+    # -- scheduling policies -------------------------------------------
+    def _open_by_worker(self, pendings: dict[str, _Pending]) -> dict[str, int]:
+        load: dict[str, int] = {h.name: 0 for h in self.registry.alive()}
+        for pending in pendings.values():
+            if pending.resolved:
+                continue
+            for attempt in pending.live():
+                if attempt.worker in load:
+                    load[attempt.worker] += 1
+        return load
+
+    def _maybe_steal(
+        self, pending: _Pending, priority: int, load: dict[str, int]
+    ) -> None:
+        """Move a stale queued attempt to the least-loaded other worker."""
+        live = pending.live()
+        if len(live) != 1 or pending.stolen:
+            return
+        attempt = live[0]
+        if attempt.state != protocol.QUEUED:
+            return
+        if self._clock() - attempt.born < self.steal_after:
+            return
+        candidates = [
+            name for name in load
+            if name != attempt.worker
+            and load[name] < load.get(attempt.worker, 0)
+        ]
+        if not candidates:
+            return
+        thief = min(candidates, key=lambda name: load[name])
+        self._cancel_quietly(attempt)
+        attempt.dead = True
+        if self._submit(pending, self.registry.get(thief), priority):
+            pending.stolen = True
+            self.stats["stolen"] += 1
+        # On submit failure the replacement pass below re-places it.
+
+    def _maybe_speculate(self, pending: _Pending, priority: int) -> None:
+        """Duplicate a long-running attempt onto a second worker."""
+        live = pending.live()
+        if len(live) != 1 or pending.speculated:
+            return
+        attempt = live[0]
+        if attempt.running_since is None:
+            return
+        if self._clock() - attempt.running_since < self.speculate_after:
+            return
+        for handle in self.registry.preference(pending.key):
+            if handle.name == attempt.worker:
+                continue
+            if self._submit(pending, handle, priority):
+                pending.speculated = True
+                self.stats["speculated"] += 1
+                return
+
+    # -- the sweep -----------------------------------------------------
+    def run_sweep(
+        self, specs: Sequence[RunSpec], priority: int = 0
+    ) -> ClusterReport:
+        """Execute every spec somewhere; returns records in input order."""
+        started = self._clock()
+        pendings: dict[str, _Pending] = {}
+        order: list[str] = []
+        for spec in specs:
+            key = cache_key(spec)
+            order.append(key)
+            if key not in pendings:
+                pendings[key] = _Pending(key, spec)
+
+        for pending in pendings.values():
+            self._place(pending, priority)
+
+        max_replacements = 2 * max(1, len(self.registry.all()))
+        while True:
+            unresolved = [p for p in pendings.values() if not p.resolved]
+            if not unresolved:
+                break
+            load = self._open_by_worker(pendings)
+            for pending in unresolved:
+                for attempt in pending.live():
+                    self._observe(pending, attempt)
+                    if pending.resolved:
+                        break
+                if pending.resolved:
+                    continue
+                if not pending.live():
+                    # Every attempt died (worker crash, failure):
+                    # resubmit, preferring untried workers first.
+                    pending.replacements += 1
+                    self.stats["replacements"] += 1
+                    if pending.replacements > max_replacements:
+                        raise ClusterError(
+                            f"spec {pending.key[:32]}... failed on every "
+                            f"attempt: {pending.last_error}"
+                        )
+                    self._place(pending, priority,
+                                avoid=pending.workers_tried())
+                    continue
+                self._maybe_steal(pending, priority, load)
+                self._maybe_speculate(pending, priority)
+            self._sleep(self.poll)
+
+        self._reconcile(pendings)
+        per_worker: dict[str, int] = {}
+        for pending in pendings.values():
+            for attempt in pending.attempts:
+                if attempt.digest is not None:
+                    per_worker[attempt.worker] = (
+                        per_worker.get(attempt.worker, 0) + 1
+                    )
+        return ClusterReport(
+            records=[pendings[key].record for key in order],
+            digests={key: p.digest for key, p in pendings.items()
+                     if p.digest is not None},
+            stats=dict(self.stats),
+            per_worker=per_worker,
+            duration_seconds=self._clock() - started,
+            unique_specs=len(pendings),
+        )
+
+    def _reconcile(self, pendings: dict[str, _Pending]) -> None:
+        """Check every duplicated spec's attempts agree on the digest.
+
+        Speculation and crash recovery can leave late attempts behind
+        the winner: poll each once more, cancel the ones still queued,
+        and require every digest that *did* materialise to match —
+        first-digest-wins must never become first-digest-unchecked.
+        """
+        for pending in pendings.values():
+            if len(pending.attempts) <= 1:
+                continue
+            for attempt in pending.attempts:
+                if attempt.dead or attempt.digest is not None:
+                    continue
+                handle = self.registry.get(attempt.worker)
+                if not handle.alive:
+                    continue
+                try:
+                    view = self._client(handle).status(attempt.job_id)
+                except ServeError:
+                    continue
+                if view["state"] == protocol.DONE:
+                    attempt.digest = view.get("digest")
+                elif view["state"] == protocol.QUEUED:
+                    self._cancel_quietly(attempt)
+            digests = {
+                attempt.label: attempt.digest
+                for attempt in pending.attempts
+                if attempt.digest is not None
+            }
+            if digests:
+                agreed = protocol.reconcile_digests(digests)
+                assert agreed == pending.digest
+
+
+# ----------------------------------------------------------------------
+# Local fleet
+# ----------------------------------------------------------------------
+class LocalCluster:
+    """N in-process workers sharing one result cache.
+
+    ``with LocalCluster(3, state_root=..., cache=...) as cluster:``
+    boots three stock servers on ephemeral ports (thread executor, one
+    job slot each unless configured otherwise), each journalling to
+    ``state_root/worker-<i>``. :meth:`kill_worker` aborts one without
+    draining — the journal keeps its open jobs, so :meth:`restart_worker`
+    demonstrates recovery end to end.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        state_root: str | pathlib.Path | None = None,
+        cache: ResultCache | None = None,
+        config: ServeConfig | None = None,
+        replicas: int = 64,
+    ) -> None:
+        if size < 1:
+            raise ConfigError(f"cluster size must be >= 1, got {size}")
+        self.size = size
+        self.state_root = (
+            pathlib.Path(state_root) if state_root is not None else None
+        )
+        self.cache = cache
+        self.base_config = config or ServeConfig(
+            port=0, executor="thread", workers=1,
+            state_dir=None, request_log=False,
+        )
+        self.replicas = replicas
+        self.registry = WorkerRegistry(replicas=replicas)
+        self._threads: list[ServerThread | None] = [None] * size
+        self._started = False
+
+    def _worker_config(self, index: int) -> ServeConfig:
+        state_dir = (
+            str(self.state_root / f"worker-{index}")
+            if self.state_root is not None else None
+        )
+        return dataclasses.replace(
+            self.base_config, port=0, state_dir=state_dir
+        )
+
+    def _boot(self, index: int) -> ServerThread:
+        thread = ServerThread(
+            self._worker_config(index), cache=self.cache
+        ).start()
+        self._threads[index] = thread
+        return thread
+
+    def start(self) -> "LocalCluster":
+        if self._started:
+            return self
+        for index in range(self.size):
+            thread = self._boot(index)
+            assert thread.port is not None
+            self.registry.add(WorkerHandle(
+                name=f"worker-{index}",
+                host=thread.config.host,
+                port=thread.port,
+            ))
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        for index, thread in enumerate(self._threads):
+            if thread is not None:
+                try:
+                    thread.stop(drain=False)
+                except ReproError:
+                    pass
+                self._threads[index] = None
+        self._started = False
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int) -> None:
+        """Simulated crash: abort without draining, journal left open."""
+        thread = self._threads[index]
+        if thread is not None:
+            thread.kill()
+            self._threads[index] = None
+        self.registry.mark_dead(f"worker-{index}")
+
+    def restart_worker(self, index: int) -> WorkerHandle:
+        """Boot a fresh server over the dead worker's journal."""
+        thread = self._boot(index)
+        assert thread.port is not None
+        name = f"worker-{index}"
+        self.registry.mark_alive(
+            name, host=thread.config.host, port=thread.port
+        )
+        return self.registry.get(name)
+
+    def coordinator(self, **kwargs: Any) -> ClusterCoordinator:
+        return ClusterCoordinator(self.registry, **kwargs)
+
+    def client(self, index: int, client_id: str = "test") -> ServeClient:
+        thread = self._threads[index]
+        assert thread is not None, f"worker-{index} is not running"
+        return thread.client(client_id)
+
+
+# ----------------------------------------------------------------------
+# Server-side seam: a JobRunner that dispatches to the fleet
+# ----------------------------------------------------------------------
+class ClusterRunner:
+    """JobRunner-compatible dispatcher for ``repro serve --cluster N``.
+
+    The front server keeps its whole public surface (admission,
+    coalescing, journal, metrics) but executes nothing itself: each
+    job is forwarded to its ring-assigned worker with ``wait=true``
+    and failover along the preference order. The shared result cache
+    is consulted first, so a sweep the fleet already computed never
+    crosses the network at all.
+    """
+
+    def __init__(
+        self,
+        registry: WorkerRegistry,
+        cache: ResultCache | None = None,
+        client_id: str = "cluster-front",
+        timeout: float = 240.0,
+        cluster: LocalCluster | None = None,
+    ) -> None:
+        self.registry = registry
+        self.cache = cache
+        self.client_id = client_id
+        self.timeout = timeout
+        #: When the front server owns the fleet (CLI mode), closing the
+        #: runner tears the workers down too.
+        self.cluster = cluster
+        self.mode = "cluster"
+
+    async def run(self, spec: RunSpec) -> tuple[Any, bool]:
+        key = cache_key(spec)
+        if self.cache is not None:
+            hit = await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.get, key
+            )
+            if hit is not None:
+                return hit, True
+        record = await asyncio.get_running_loop().run_in_executor(
+            None, self._dispatch, spec, key
+        )
+        return record, False
+
+    def _dispatch(self, spec: RunSpec, key: str) -> Any:
+        last_error: str | None = None
+        for handle in self.registry.preference(key):
+            client = handle.client(self.client_id, timeout=self.timeout)
+            try:
+                body = client.submit(
+                    spec, wait=True, timeout=self.timeout, shard=handle.index
+                )
+                job = body["job"]
+                if job["state"] != protocol.DONE:
+                    # wait=true timed out server-side; poll it home.
+                    job = client.wait(job["job_id"], timeout=self.timeout)
+                    if job["state"] != protocol.DONE:
+                        raise ReproError(
+                            f"cluster job {job['job_id']} on {handle.name} "
+                            f"ended {job['state']}: {job.get('error')}"
+                        )
+                    return client.result(job["job_id"])
+                if "result" in body:
+                    return protocol.decode_result(body["result"])
+                return client.result(job["job_id"])
+            except RateLimited as limited:
+                time.sleep(min(limited.retry_after or 0.5, 1.0))
+                last_error = str(limited)
+                continue
+            except ServeError as error:
+                last_error = str(error)
+                self.registry.mark_dead(handle.name)
+                continue
+        raise ClusterError(
+            f"no live worker could execute spec {key[:32]}...: {last_error}"
+        )
+
+    def close(self) -> None:
+        if self.cluster is not None:
+            self.cluster.stop()

@@ -106,7 +106,11 @@ class Job:
     client: str
     priority: int = 0
     state: str = QUEUED
+    #: Monotonic submit time (this process's queue clock; age math).
     submitted_at: float = 0.0
+    #: Wall-clock submit time — the only submit time that survives a
+    #: restart, so it is what the journal persists and recovery orders by.
+    submitted_wall: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
     error: str | None = None
@@ -116,6 +120,8 @@ class Job:
     recovered: bool = False
     #: How many later submissions coalesced onto this job.
     attached: int = 0
+    #: Cluster shard annotation (coordinator-assigned; None standalone).
+    shard: int | None = None
     record: Any = None
     digest: str | None = None
     done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
@@ -133,12 +139,14 @@ class Job:
             "client": self.client,
             "priority": self.priority,
             "submitted_at": self.submitted_at,
+            "submitted_wall": self.submitted_wall,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
             "cached": self.cached,
             "recovered": self.recovered,
             "attached": self.attached,
+            "shard": self.shard,
             "digest": self.digest,
         }
         if clock_now is not None and not self.terminal:
@@ -155,11 +163,13 @@ class JobQueue:
         rate: float = 0.0,
         burst: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
     ) -> None:
         self.max_inflight = max(1, int(max_inflight))
         self.rate = float(rate)
         self.burst = int(burst)
         self._clock = clock
+        self._wall = wall_clock
         self._jobs: dict[str, Job] = {}
         #: cache key -> non-terminal job (the coalescing index).
         self._active_by_key: dict[str, Job] = {}
@@ -206,6 +216,8 @@ class JobQueue:
         priority: int = 0,
         job_id: str | None = None,
         recovered: bool = False,
+        submitted_wall: float | None = None,
+        shard: int | None = None,
     ) -> tuple[Job, bool]:
         """Admit one submission; returns ``(job, coalesced)``.
 
@@ -215,8 +227,13 @@ class JobQueue:
 
         Recovered submissions (``recovered=True``, from the journal)
         bypass admission — they were admitted by a previous life of the
-        server — and are idempotent: re-recovering a job id that is
-        already present returns the existing job.
+        server — and never touch the in-flight accounting: charging
+        them against their original clients would eat admission slots
+        for work those clients were already granted before the restart.
+        They are idempotent: re-recovering a job id that is already
+        present returns the existing job. ``submitted_wall`` (the
+        journalled wall-clock submit time) rebases the recovered job's
+        monotonic ``submitted_at`` so its age spans the restart.
         """
         if recovered and job_id is not None and job_id in self._jobs:
             return self._jobs[job_id], True
@@ -230,18 +247,27 @@ class JobQueue:
             return existing, True
         if not recovered:
             self._admit(client, creates_job=True)
+        now, wall_now = self._clock(), self._wall()
+        if recovered and submitted_wall is not None:
+            age = max(0.0, wall_now - submitted_wall)
+            submitted_at, wall = now - age, submitted_wall
+        else:
+            submitted_at, wall = now, wall_now
         job = Job(
             job_id=job_id or f"j-{uuid.uuid4().hex[:12]}",
             spec=spec,
             key=key,
             client=client,
             priority=priority,
-            submitted_at=self._clock(),
+            submitted_at=submitted_at,
+            submitted_wall=wall,
             recovered=recovered,
+            shard=shard,
         )
         self._jobs[job.job_id] = job
         self._active_by_key[key] = job
-        self._inflight[client] = self._inflight.get(client, 0) + 1
+        if not recovered:
+            self._inflight[client] = self._inflight.get(client, 0) + 1
         heapq.heappush(self._heap, (-priority, next(self._seq), job.job_id))
         self.stats.add("submitted")
         if recovered:
@@ -318,11 +344,14 @@ class JobQueue:
         job.finished_at = self._clock()
         if self._active_by_key.get(job.key) is job:
             del self._active_by_key[job.key]
-        remaining = self._inflight.get(job.client, 0) - 1
-        if remaining > 0:
-            self._inflight[job.client] = remaining
-        else:
-            self._inflight.pop(job.client, None)
+        # Recovered jobs never charged a slot (see submit), so releasing
+        # one here would free a slot a live same-named client is using.
+        if not job.recovered:
+            remaining = self._inflight.get(job.client, 0) - 1
+            if remaining > 0:
+                self._inflight[job.client] = remaining
+            else:
+                self._inflight.pop(job.client, None)
         job.done.set()
 
     # ------------------------------------------------------------------

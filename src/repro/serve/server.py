@@ -182,6 +182,7 @@ class SimulationServer:
         self,
         config: ServeConfig | None = None,
         cache: ResultCache | None | object = _DEFAULT,
+        runner: Any = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.queue = JobQueue(
@@ -189,7 +190,11 @@ class SimulationServer:
             rate=self.config.rate,
             burst=self.config.burst,
         )
-        self.runner = JobRunner(
+        # An injected runner must match JobRunner's surface (async
+        # run(spec) -> (record, cached), mode, close()); the cluster
+        # front uses this seam to dispatch jobs to workers instead of
+        # executing them locally (repro.serve.cluster.ClusterRunner).
+        self.runner = runner if runner is not None else JobRunner(
             workers=self.config.workers,
             executor=self.config.executor,
             cache=cache,
@@ -212,6 +217,7 @@ class SimulationServer:
         self._running: set[asyncio.Task] = set()
         self._draining = False
         self._closed = False
+        self._aborted = False
         self._stopped: asyncio.Event | None = None
         self._started_at = 0.0
 
@@ -266,6 +272,7 @@ class SimulationServer:
                 priority=view.get("priority", 0),
                 job_id=view.get("job_id"),
                 recovered=True,
+                submitted_wall=view.get("submitted_wall"),
             )
             if not existing:
                 self.store.append(protocol.QUEUED, job.as_wire())
@@ -316,6 +323,38 @@ class SimulationServer:
         assert self._stopped is not None
         self._stopped.set()
 
+    async def abort(self) -> None:
+        """Stop serving immediately, as if the process had died.
+
+        No drain, no cancellation journalling: open jobs stay open in
+        the journal exactly as a crash would leave them, so a later
+        server on the same state dir recovers them. Used by the cluster
+        worker-kill drills (:mod:`repro.serve.cluster`) and tests; a
+        production stop is :meth:`shutdown`.
+        """
+        if self._draining:
+            await self.wait_stopped()
+            return
+        self._aborted = True
+        self._draining = True
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        assert self._work is not None
+        async with self._work:
+            self._work.notify_all()
+        if self._scheduler_task is not None:
+            await self._scheduler_task
+        for task in list(self._running):
+            task.cancel()
+        if self._running:
+            await asyncio.gather(*self._running, return_exceptions=True)
+        self.runner.close()
+        logger.info(json.dumps({"event": "aborted"}))
+        assert self._stopped is not None
+        self._stopped.set()
+
     # ------------------------------------------------------------------
     # Scheduling / execution
     # ------------------------------------------------------------------
@@ -355,13 +394,22 @@ class SimulationServer:
             self.queue.finish(job, record, cached=cached)
             self._journal(protocol.DONE, job)
         finally:
+            # Release this worker slot *before* waking the scheduler.
+            # The done-callback discard only fires after the coroutine
+            # returns, i.e. after the notify below — a fully-loaded
+            # scheduler would wake, still see every slot occupied, and
+            # sleep through the release (a lost wakeup).
+            self._running.discard(asyncio.current_task())
             if not self._closed:
                 assert self._work is not None
                 async with self._work:
                     self._work.notify_all()
 
     def _journal(self, state: str, job: Job) -> None:
-        if self.store is not None:
+        # An aborted (simulated-crash) server stops journalling: a real
+        # crash would not have written these transitions either, and the
+        # recovery tests depend on the journal keeping its open entries.
+        if self.store is not None and not self._aborted:
             self.store.append(state, job.as_wire())
 
     # ------------------------------------------------------------------
@@ -469,6 +517,7 @@ class SimulationServer:
                 fields["spec"],
                 client=fields["client"],
                 priority=fields["priority"],
+                shard=fields["shard"],
             )
         except AdmissionDenied as denied:
             code = 429
@@ -605,11 +654,11 @@ async def _write_response(
     await writer.drain()
 
 
-async def serve(config: ServeConfig | None = None) -> int:
+async def serve(config: ServeConfig | None = None, runner: Any = None) -> int:
     """Run a server until a signal or an admin shutdown stops it."""
     import signal
 
-    server = SimulationServer(config)
+    server = SimulationServer(config, runner=runner)
     await server.start()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):

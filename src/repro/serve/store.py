@@ -51,7 +51,18 @@ class JobStore:
         self.path = self.root / JOURNAL_NAME
         self.compact_after = max(16, int(compact_after))
         self._clock = clock
-        self._lines = 0
+        # Seed the line counter from the journal a previous server left
+        # behind: starting at 0 would let every restart defer compaction
+        # by another compact_after appends, growing the file without
+        # bound across repeated restarts.
+        self._lines = self._count_lines()
+
+    def _count_lines(self) -> int:
+        try:
+            with self.path.open("rb") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
 
     # ------------------------------------------------------------------
     def append(self, state: str, job_wire: dict) -> None:
@@ -103,7 +114,14 @@ class JobStore:
             for entry in self.fold().values()
             if entry.get("state") in (QUEUED, RUNNING)
         ]
-        open_jobs.sort(key=lambda job: job.get("submitted_at", 0.0))
+        # Order by wall-clock submit time: monotonic readings are
+        # process-relative and do not compare across server lives
+        # (older journals without the field fall back to them).
+        open_jobs.sort(
+            key=lambda job: job.get(
+                "submitted_wall", job.get("submitted_at", 0.0)
+            )
+        )
         return open_jobs
 
     def compact(self) -> int:
@@ -118,7 +136,11 @@ class JobStore:
             for entry in folded.values()
             if entry.get("state") not in TERMINAL_STATES
         ]
-        keep.sort(key=lambda entry: entry["job"].get("submitted_at", 0.0))
+        keep.sort(
+            key=lambda entry: entry["job"].get(
+                "submitted_wall", entry["job"].get("submitted_at", 0.0)
+            )
+        )
         temporary = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
         self.root.mkdir(parents=True, exist_ok=True)
         with temporary.open("w", encoding="utf-8") as handle:
@@ -130,9 +152,14 @@ class JobStore:
 
 
 def _journal_view(job_wire: dict) -> dict:
-    """The journal subset of a job's wire view (no volatile fields)."""
+    """The journal subset of a job's wire view (no volatile fields).
+
+    ``submitted_wall`` is the field recovery depends on: the monotonic
+    ``submitted_at`` is kept for debugging but is meaningless in any
+    process other than the one that wrote it.
+    """
     try:
-        return {
+        view = {
             "job_id": job_wire["job_id"],
             "spec": job_wire["spec"],
             "client": job_wire["client"],
@@ -143,3 +170,6 @@ def _journal_view(job_wire: dict) -> dict:
         raise ReproError(
             f"job wire view is missing journal field {error}"
         ) from None
+    if "submitted_wall" in job_wire:
+        view["submitted_wall"] = job_wire["submitted_wall"]
+    return view

@@ -21,7 +21,7 @@ class TestResultCache:
         cache.put("key", {"cycles": 123})
         assert cache.get("key") == {"cycles": 123}
         assert cache.stats == {"hits": 1, "misses": 1, "stores": 1,
-                               "poisoned": 0}
+                               "poisoned": 0, "stale_tmp": 0}
         assert cache.hit_rate == 0.5
 
     def test_distinct_keys_do_not_collide(self, tmp_path):
@@ -78,6 +78,19 @@ class TestResultCache:
         cache.put("b", 2)
         assert cache.clear() == 2
         assert cache.get("a") is None
+
+    def test_clear_sweeps_stale_temp_files(self, tmp_path):
+        """Orphaned mkstemp leavings from interrupted puts must not
+        accumulate: clear() removes and counts them."""
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("a", 1)
+        # Two interrupted puts: mkstemp files that never got renamed.
+        (tmp_path / "deadbeef01.tmp").write_bytes(b"torn write")
+        (tmp_path / "deadbeef02.tmp").write_bytes(b"")
+        assert cache.clear() == 3
+        assert cache.stats["stale_tmp"] == 2
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob("*.pkl")) == []
 
     def test_roundtrips_arbitrary_picklables(self, tmp_path):
         cache = ResultCache(tmp_path, version="v1")

@@ -1,0 +1,367 @@
+"""Cluster lifecycle tests: placement, failover, stealing, speculation.
+
+Every scenario drives a real :class:`LocalCluster` of stock servers
+through the coordinator's public API; determinism comes from gating
+``execute_spec`` inside the worker processes' (shared, in-process)
+server module, the same technique the single-server tests use.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.cache import ResultCache
+from repro.perf.specs import RunSpec, cache_key, execute_spec
+from repro.serve import server as server_module
+from repro.serve.cluster import (
+    ClusterError,
+    ClusterRunner,
+    HashRing,
+    LocalCluster,
+    WorkerHandle,
+    WorkerRegistry,
+)
+from repro.serve.protocol import result_digest
+from repro.serve.server import ServeConfig
+from repro.serve.store import JobStore
+from repro.serve.testing import ServerThread
+
+
+def spec(stride: int = 2, lines: int = 8, variant: str = "scalar",
+         mode: str = "fast") -> RunSpec:
+    return RunSpec(
+        kind="patternscan",
+        params={"variant": variant, "stride": stride, "lines": lines},
+        mode=mode,
+    )
+
+
+def sweep() -> list[RunSpec]:
+    return [
+        spec(stride, lines, variant)
+        for stride in (2, 4, 8)
+        for lines in (8, 16)
+        for variant in ("scalar", "gathered")
+    ]
+
+
+def spec_owned_by(cluster: LocalCluster, worker: str) -> RunSpec:
+    """A spec whose ring owner is ``worker`` (searched, not assumed)."""
+    for lines in range(8, 2048, 8):
+        candidate = spec(lines=lines)
+        if cluster.registry.assign(cache_key(candidate)).name == worker:
+            return candidate
+    raise AssertionError(f"no spec hashes onto {worker}")
+
+
+# ----------------------------------------------------------------------
+# Placement primitives
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        ring = HashRing(["a", "b", "c"])
+        again = HashRing(["c", "b", "a"])  # insertion order irrelevant
+        for index in range(50):
+            key = f"key-{index}"
+            assert ring.assign(key) == again.assign(key)
+
+    def test_preference_lists_every_node_once(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        order = ring.preference("some-key")
+        assert sorted(order) == ["a", "b", "c", "d"]
+
+    def test_removal_only_moves_the_removed_nodes_keys(self):
+        """The consistency property: nodes that stay keep their keys."""
+        ring = HashRing(["a", "b", "c"])
+        keys = [f"key-{index}" for index in range(200)]
+        before = {key: ring.assign(key) for key in keys}
+        ring.remove("b")
+        for key in keys:
+            if before[key] != "b":
+                assert ring.assign(key) == before[key]
+
+    def test_virtual_nodes_spread_the_keys(self):
+        ring = HashRing(["a", "b", "c", "d"], replicas=64)
+        counts = {"a": 0, "b": 0, "c": 0, "d": 0}
+        for index in range(400):
+            counts[ring.assign(f"key-{index}")] += 1
+        # Not perfectly even, but no node may starve or hog.
+        assert all(25 <= count <= 250 for count in counts.values()), counts
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ClusterError, match="no live workers"):
+            HashRing([]).assign("key")
+
+    def test_invalid_replicas(self):
+        with pytest.raises(ConfigError):
+            HashRing(["a"], replicas=0)
+
+
+class TestWorkerRegistry:
+    def handles(self, count: int = 3) -> list[WorkerHandle]:
+        return [
+            WorkerHandle(name=f"w{index}", host="127.0.0.1", port=1000 + index)
+            for index in range(count)
+        ]
+
+    def test_duplicate_name_rejected(self):
+        registry = WorkerRegistry(self.handles())
+        with pytest.raises(ConfigError, match="duplicate"):
+            registry.add(WorkerHandle(name="w0", host="h", port=1))
+
+    def test_dead_worker_leaves_the_ring(self):
+        registry = WorkerRegistry(self.handles())
+        registry.mark_dead("w1")
+        assert registry.ring().nodes == {"w0", "w2"}
+        assert all(h.name != "w1" for h in registry.preference("key"))
+
+    def test_restart_readmits_on_new_port(self):
+        registry = WorkerRegistry(self.handles())
+        registry.mark_dead("w2")
+        registry.mark_alive("w2", port=9999)
+        assert registry.get("w2").port == 9999
+        assert "w2" in registry.ring().nodes
+
+    def test_indices_are_stable_shard_annotations(self):
+        registry = WorkerRegistry(self.handles())
+        assert [h.index for h in registry.all()] == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Healthy-fleet sweeps
+# ----------------------------------------------------------------------
+class TestClusterSweep:
+    def test_sweep_matches_direct_digests(self, tmp_path):
+        specs = sweep()
+        direct = {cache_key(s): result_digest(execute_spec(s))
+                  for s in specs}
+        with LocalCluster(2, cache=ResultCache(tmp_path)) as cluster:
+            report = cluster.coordinator(poll=0.01).run_sweep(specs)
+        assert report.digests == direct
+        assert len(report.records) == len(specs)
+        assert report.unique_specs == len(direct)
+        assert sum(report.per_worker.values()) == report.unique_specs
+
+    def test_duplicate_specs_execute_once(self, tmp_path):
+        one = spec()
+        with LocalCluster(2, cache=ResultCache(tmp_path)) as cluster:
+            report = cluster.coordinator(poll=0.01).run_sweep([one] * 5)
+        assert report.unique_specs == 1
+        assert report.stats["submitted"] == 1
+        assert len(report.records) == 5
+        digest = result_digest(execute_spec(one))
+        assert all(result_digest(r) == digest for r in report.records)
+
+
+# ----------------------------------------------------------------------
+# Failure handling
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+    def test_kill_mid_sweep_still_matches_direct(self, tmp_path):
+        specs = sweep()
+        direct = {cache_key(s): result_digest(execute_spec(s))
+                  for s in specs}
+        with LocalCluster(3, cache=ResultCache(tmp_path)) as cluster:
+            killed = []
+            lock = threading.Lock()
+
+            def assassin(worker, job_id, key):
+                with lock:
+                    if killed:
+                        return
+                    killed.append(worker)
+                index = int(worker.rsplit("-", 1)[1])
+                threading.Thread(
+                    target=cluster.kill_worker, args=(index,), daemon=True
+                ).start()
+
+            report = cluster.coordinator(
+                poll=0.01, after_submit=assassin
+            ).run_sweep(specs)
+        assert killed, "assassin never fired"
+        assert report.digests == direct
+        # The dead worker's jobs were resubmitted somewhere else.
+        assert report.stats["replacements"] >= 1
+
+    def test_kill_and_restart_recovers_journalled_jobs(
+        self, tmp_path, monkeypatch
+    ):
+        """The journal-backed recovery demo, end to end: a worker dies
+        with a job running, restarts over the same journal, re-executes
+        it under the same job id, and serves the correct digest."""
+        gate = threading.Event()
+
+        def gated(run_spec):
+            assert gate.wait(30.0), "gate never released"
+            return execute_spec(run_spec)
+
+        monkeypatch.setattr(server_module, "execute_spec", gated)
+        target = spec(lines=24)
+        expected = result_digest(execute_spec(target))
+
+        cluster = LocalCluster(
+            1, state_root=tmp_path / "state",
+            cache=ResultCache(tmp_path / "cache"),
+        )
+        with cluster:
+            client = cluster.client(0)
+            job_id = client.submit(target, wait=False)["job"]["job_id"]
+            deadline = time.monotonic() + 10.0
+            while client.status(job_id)["state"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+
+            cluster.kill_worker(0)
+            # A crash leaves the journal's open entries in place.
+            open_jobs = JobStore(tmp_path / "state" / "worker-0").recover()
+            assert [job["job_id"] for job in open_jobs] == [job_id]
+
+            cluster.restart_worker(0)
+            gate.set()
+            revived = cluster.client(0)
+            job = revived.wait(job_id, timeout=30.0)
+            assert job["state"] == "done"
+            assert job["recovered"] is True
+            assert job["digest"] == expected
+
+
+class TestStealing:
+    def test_queued_work_is_stolen_from_a_busy_worker(
+        self, tmp_path, monkeypatch
+    ):
+        """A job stuck queued behind a stalled worker moves to an idle
+        one instead of waiting the stall out."""
+        gate = threading.Event()
+        blocker = spec(lines=4096, variant="gathered")
+        blocker_key = cache_key(blocker)
+
+        def gated(run_spec):
+            if cache_key(run_spec) == blocker_key:
+                assert gate.wait(30.0), "gate never released"
+            return execute_spec(run_spec)
+
+        monkeypatch.setattr(server_module, "execute_spec", gated)
+        try:
+            with LocalCluster(2, cache=ResultCache(tmp_path)) as cluster:
+                owner = cluster.registry.assign(blocker_key)
+                owner_index = int(owner.name.rsplit("-", 1)[1])
+                # Stall the owner: its single slot runs the blocker.
+                cluster.client(owner_index).submit(blocker, wait=False)
+                target = spec_owned_by(cluster, owner.name)
+                coordinator = cluster.coordinator(
+                    poll=0.01, steal_after=0.1, speculate_after=300.0
+                )
+                report = coordinator.run_sweep([target])
+                gate.set()
+            assert report.stats["stolen"] == 1
+            thief = next(iter(report.per_worker))
+            assert thief != owner.name
+            assert report.digests[cache_key(target)] == result_digest(
+                execute_spec(target)
+            )
+        finally:
+            gate.set()  # never leave an executor thread parked
+
+
+class TestSpeculation:
+    def test_slow_running_job_is_speculated_and_first_digest_wins(
+        self, tmp_path, monkeypatch
+    ):
+        """A long-running attempt gets a duplicate on another worker;
+        the duplicate finishes first and resolves the spec."""
+        gate = threading.Event()
+        target = spec(lines=40)
+        target_key = cache_key(target)
+        calls = {"count": 0}
+        lock = threading.Lock()
+
+        def gated(run_spec):
+            if cache_key(run_spec) == target_key:
+                with lock:
+                    calls["count"] += 1
+                    first = calls["count"] == 1
+                if first:  # only the original attempt stalls
+                    assert gate.wait(30.0), "gate never released"
+            return execute_spec(run_spec)
+
+        monkeypatch.setattr(server_module, "execute_spec", gated)
+        try:
+            # No shared cache: a cache hit would let the stalled
+            # worker's attempt resolve without re-executing.
+            with LocalCluster(2, cache=None) as cluster:
+                owner = cluster.registry.assign(target_key).name
+                coordinator = cluster.coordinator(
+                    poll=0.01, steal_after=300.0, speculate_after=0.1
+                )
+                report = coordinator.run_sweep([target])
+                gate.set()
+            assert report.stats["speculated"] == 1
+            [winner] = report.per_worker
+            assert winner != owner
+            assert report.digests[target_key] == result_digest(
+                execute_spec(target)
+            )
+        finally:
+            gate.set()
+
+
+class TestBackpressure:
+    def test_rate_limited_submissions_back_off_and_complete(self, tmp_path):
+        """Worker admission control pushes back; the coordinator
+        honours Retry-After instead of failing the sweep."""
+        config = ServeConfig(
+            port=0, executor="thread", workers=1, state_dir=None,
+            request_log=False, rate=10.0, burst=1, max_inflight=10_000,
+        )
+        specs = sweep()
+        direct = {cache_key(s): result_digest(execute_spec(s))
+                  for s in specs}
+        with LocalCluster(1, cache=ResultCache(tmp_path),
+                          config=config) as cluster:
+            coordinator = cluster.coordinator(poll=0.01, backoff_cap=0.2)
+            report = coordinator.run_sweep(specs)
+        assert report.stats["rate_limited"] > 0
+        assert report.digests == direct
+
+
+# ----------------------------------------------------------------------
+# The serve --cluster seam
+# ----------------------------------------------------------------------
+class TestClusterRunner:
+    def test_front_server_dispatches_to_the_fleet(self, tmp_path):
+        specs = sweep()[:4]
+        shared = ResultCache(tmp_path)
+        with LocalCluster(2, cache=shared) as cluster:
+            runner = ClusterRunner(cluster.registry, cache=shared)
+            front_config = ServeConfig(
+                port=0, executor="thread", workers=2, state_dir=None,
+                request_log=False,
+            )
+            with ServerThread(front_config, runner=runner) as front:
+                client = front.client()
+                assert client.health()["executor"] == "cluster"
+                for item in specs:
+                    body = client.submit(item, wait=True, timeout=60.0)
+                    job = body["job"]
+                    assert job["state"] == "done"
+                    assert job["digest"] == result_digest(execute_spec(item))
+
+    def test_front_survives_one_worker_dying(self, tmp_path):
+        item = spec(lines=32)
+        shared = ResultCache(tmp_path)
+        with LocalCluster(2, cache=shared) as cluster:
+            owner = cluster.registry.assign(cache_key(item))
+            cluster.kill_worker(int(owner.name.rsplit("-", 1)[1]))
+            runner = ClusterRunner(cluster.registry, cache=shared)
+            front_config = ServeConfig(
+                port=0, executor="thread", workers=1, state_dir=None,
+                request_log=False,
+            )
+            with ServerThread(front_config, runner=runner) as front:
+                body = front.client().submit(item, wait=True, timeout=60.0)
+                assert body["job"]["state"] == "done"
+                assert body["job"]["digest"] == result_digest(
+                    execute_spec(item)
+                )

@@ -185,6 +185,67 @@ class TestAdmission:
         again, existing = queue.submit(spec(2), job_id="j-1", recovered=True)
         assert existing and again is first
 
+    def test_recovered_jobs_do_not_charge_inflight(self):
+        """A restarted server's recovered jobs were admitted in a
+        previous life: the client must not see spurious 429s for them."""
+        queue = JobQueue(max_inflight=2)
+        for index, stride in enumerate((2, 4)):
+            queue.submit(
+                spec(stride), client="c",
+                job_id=f"j-rec-{index}", recovered=True,
+            )
+        # The client's cap is untouched: both fresh submissions admitted.
+        queue.submit(spec(8), client="c")
+        queue.submit(spec(2, lines=16), client="c")
+        with pytest.raises(AdmissionDenied):
+            queue.submit(spec(4, lines=16), client="c")
+
+    def test_recovered_terminal_does_not_free_live_slot(self):
+        """The release side must be symmetric: a finishing recovered
+        job must not hand its original client a phantom slot."""
+        queue = JobQueue(max_inflight=1)
+        recovered, _ = queue.submit(
+            spec(2), client="c", job_id="j-rec", recovered=True
+        )
+        queue.submit(spec(4), client="c")  # the one live slot
+        queue.mark_running(queue.pop())  # FIFO: the recovered job
+        queue.finish(recovered, record={})
+        with pytest.raises(AdmissionDenied):
+            queue.submit(spec(8), client="c")  # slot still occupied
+
+
+class TestRecoveryClockRebase:
+    def test_recovered_submit_rebases_monotonic_age(self):
+        """The journalled wall-clock time, not the dead process's
+        monotonic reading, determines a recovered job's age."""
+        clock, wall = FakeClock(start=10.0), FakeClock(start=2_000.0)
+        queue = JobQueue(clock=clock, wall_clock=wall)
+        job, _ = queue.submit(
+            spec(2), job_id="j-old", recovered=True,
+            submitted_wall=1_940.0,  # submitted 60s before the restart
+        )
+        assert job.submitted_wall == 1_940.0
+        assert job.submitted_at == pytest.approx(-50.0)  # 10 - 60
+        wire = job.as_wire(clock_now=clock())
+        assert wire["age_seconds"] == pytest.approx(60.0)
+
+    def test_future_wall_time_clamps_to_zero_age(self):
+        clock, wall = FakeClock(start=10.0), FakeClock(start=2_000.0)
+        queue = JobQueue(clock=clock, wall_clock=wall)
+        job, _ = queue.submit(
+            spec(2), job_id="j-skew", recovered=True,
+            submitted_wall=2_500.0,  # wall clock stepped backwards
+        )
+        assert job.submitted_at == pytest.approx(10.0)
+
+    def test_fresh_submission_records_both_clocks(self):
+        clock, wall = FakeClock(start=7.0), FakeClock(start=1_234.0)
+        queue = JobQueue(clock=clock, wall_clock=wall)
+        job, _ = queue.submit(spec(2))
+        assert job.submitted_at == 7.0
+        assert job.submitted_wall == 1_234.0
+        assert job.as_wire()["submitted_wall"] == 1_234.0
+
 
 class TestLifecycle:
     def test_happy_path_states_and_digest(self):

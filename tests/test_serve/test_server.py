@@ -334,6 +334,95 @@ class TestRecovery:
             assert job["cached"]
             assert job["digest"] == result_digest(record)
 
+    def test_recovered_job_age_spans_the_restart(
+        self, tmp_path, cache, monkeypatch
+    ):
+        """age_seconds after a restart reflects the journalled
+        wall-clock submit time, not the new process's monotonic clock."""
+        release = threading.Event()
+        real = execute_spec
+
+        def gated(run_spec):
+            assert release.wait(30.0)
+            return real(run_spec)
+
+        monkeypatch.setattr(server_module, "execute_spec", gated)
+        state_dir = tmp_path / "state"
+        JobStore(state_dir).append(QUEUED, {
+            "job_id": "j-aged",
+            "spec": {
+                "kind": "patternscan",
+                "layout": None,
+                "params": {"variant": "scalar", "stride": 2, "lines": 8},
+                "config_overrides": {},
+                "seed": None,
+                "obs": "off",
+                "mode": "fast",
+            },
+            "client": "before-crash",
+            "priority": 0,
+            "submitted_at": 12345.0,  # dead process's monotonic clock
+            "submitted_wall": time.time() - 300.0,
+        })
+        try:
+            with ServerThread(
+                config(state_dir=str(state_dir)), cache=cache
+            ) as handle:
+                job = handle.client().status("j-aged")
+                assert job["state"] in (QUEUED, "running")
+                assert job["age_seconds"] >= 300.0
+                release.set()
+                handle.client().wait("j-aged", timeout=30.0)
+        finally:
+            release.set()
+
+    def test_restart_does_not_charge_original_clients_inflight(
+        self, tmp_path, cache, monkeypatch
+    ):
+        """Recovered jobs must not eat the client's admission slots:
+        after a restart, a client at its cap in the journal can still
+        submit new work."""
+        release = threading.Event()
+        real = execute_spec
+
+        def gated(run_spec):
+            assert release.wait(30.0)
+            return real(run_spec)
+
+        monkeypatch.setattr(server_module, "execute_spec", gated)
+        state_dir = tmp_path / "state"
+        store = JobStore(state_dir)
+        for index, stride in enumerate((2, 4)):
+            store.append(QUEUED, {
+                "job_id": f"j-prev-{index}",
+                "spec": {
+                    "kind": "patternscan",
+                    "layout": None,
+                    "params": {
+                        "variant": "scalar", "stride": stride, "lines": 8,
+                    },
+                    "config_overrides": {},
+                    "seed": None,
+                    "obs": "off",
+                    "mode": "fast",
+                },
+                "client": "greedy",
+                "priority": 0,
+                "submitted_at": 1.0,
+                "submitted_wall": time.time() - 10.0,
+            })
+        cfg = config(state_dir=str(state_dir), max_inflight=2, workers=1)
+        try:
+            with ServerThread(cfg, cache=cache) as handle:
+                client = handle.client(client_id="greedy")
+                # Both recovered jobs are open, yet the cap is free.
+                response = client.submit(spec(8), wait=False)
+                assert response["job"]["state"] in (QUEUED, "running")
+                release.set()
+                client.wait(response["job"]["job_id"], timeout=30.0)
+        finally:
+            release.set()
+
 
 class TestCancel:
     def test_cancel_queued_job(self, tmp_path, cache, monkeypatch):

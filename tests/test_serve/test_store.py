@@ -20,14 +20,22 @@ def spec_wire(stride: int = 2) -> dict:
     }
 
 
-def job_wire(job_id: str, stride: int = 2, submitted_at: float = 1.0) -> dict:
-    return {
+def job_wire(
+    job_id: str,
+    stride: int = 2,
+    submitted_at: float = 1.0,
+    submitted_wall: float | None = None,
+) -> dict:
+    wire = {
         "job_id": job_id,
         "spec": spec_wire(stride),
         "client": "tester",
         "priority": 0,
         "submitted_at": submitted_at,
     }
+    if submitted_wall is not None:
+        wire["submitted_wall"] = submitted_wall
+    return wire
 
 
 class TestJournal:
@@ -108,3 +116,52 @@ class TestJournal:
             store.append(DONE, wire)
         # Far fewer than 40 lines must remain after auto-compaction.
         assert len(store.path.read_text().splitlines()) < 20
+
+
+class TestRestartDurability:
+    """The journal must stay correct across server restarts."""
+
+    def test_recover_orders_by_wall_clock_not_monotonic(self, tmp_path):
+        """Two server lives have unrelated monotonic clocks: an old
+        job journalled at monotonic 5000 must not be ordered after a
+        newer job journalled at monotonic 2 by the next life."""
+        store = JobStore(tmp_path)
+        store.append(QUEUED, job_wire(
+            "j-first-life", stride=4,
+            submitted_at=5000.0, submitted_wall=1_000_000.0,
+        ))
+        store.append(QUEUED, job_wire(
+            "j-second-life", stride=8,
+            submitted_at=2.0, submitted_wall=1_000_500.0,
+        ))
+        recovered = JobStore(tmp_path).recover()
+        assert [job["job_id"] for job in recovered] == [
+            "j-first-life", "j-second-life",
+        ]
+
+    def test_compaction_preserves_wall_clock_field(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append(QUEUED, job_wire(
+            "j-1", submitted_at=3.0, submitted_wall=1_000_000.0
+        ))
+        store.compact()
+        [view] = store.recover()
+        assert view["submitted_wall"] == 1_000_000.0
+
+    def test_line_counter_seeded_from_existing_journal(self, tmp_path):
+        """A restarted server must compact a pre-grown journal on the
+        next append, not only after compact_after *new* appends."""
+        grown = JobStore(tmp_path, compact_after=10_000)
+        for index in range(40):
+            wire = job_wire(f"j-{index}", submitted_at=float(index))
+            grown.append(QUEUED, wire)
+            grown.append(DONE, wire)
+        assert len(grown.path.read_text().splitlines()) == 80
+
+        restarted = JobStore(tmp_path, compact_after=16)
+        wire = job_wire("j-new", stride=4, submitted_at=99.0)
+        restarted.append(QUEUED, wire)  # 81st line >= 16: compacts now
+        assert len(restarted.path.read_text().splitlines()) == 1
+
+    def test_line_counter_zero_for_missing_journal(self, tmp_path):
+        assert JobStore(tmp_path / "nope")._lines == 0

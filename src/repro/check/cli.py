@@ -18,11 +18,21 @@ from repro.check.differential import run_differential
 from repro.check.fastpath import run_fastpath
 from repro.check.invariants import run_all_invariants
 
+#: Stage names accepted as positional selectors (``repro check
+#: inference`` runs just that battery).
+STAGES = ("invariants", "differential", "fastpath", "service", "cluster",
+          "inference")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-check",
         description="GS-DRAM correctness battery: invariants + differential fuzzing",
+    )
+    parser.add_argument(
+        "stages", nargs="*", choices=[[], *STAGES],
+        help="run only the named stages (default: all, minus --skip-*); "
+             f"stages: {', '.join(STAGES)}",
     )
     parser.add_argument(
         "--traces", type=int, default=16,
@@ -60,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-cluster", action="store_true",
         help="skip the sharded-cluster-vs-direct differential",
     )
+    parser.add_argument(
+        "--skip-inference", action="store_true",
+        help="skip the inference-family differential battery",
+    )
     return parser
 
 
@@ -67,13 +81,18 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     failures = 0
 
-    if not args.skip_invariants:
+    def wants(stage: str) -> bool:
+        if args.stages:
+            return stage in args.stages
+        return not getattr(args, f"skip_{stage}")
+
+    if wants("invariants"):
         for report in run_all_invariants():
             print(report.render())
             if not report.ok:
                 failures += len(report.violations)
 
-    if not args.skip_differential:
+    if wants("differential"):
         report = run_differential(
             traces_per_config=args.traces,
             seed=args.seed,
@@ -83,7 +102,7 @@ def main(argv: list[str] | None = None) -> int:
         if not report.ok:
             failures += len(report.mismatches)
 
-    if not args.skip_fastpath:
+    if wants("fastpath"):
         report = run_fastpath(
             traces_per_config=max(1, args.traces // 2),
             seed=args.seed,
@@ -93,7 +112,7 @@ def main(argv: list[str] | None = None) -> int:
         if not report.ok:
             failures += len(report.divergences)
 
-    if not args.skip_service:
+    if wants("service"):
         from repro.check.service import run_service_check
 
         report = run_service_check(lines=args.service_lines)
@@ -101,10 +120,18 @@ def main(argv: list[str] | None = None) -> int:
         if not report.ok:
             failures += len(report.divergences)
 
-    if not args.skip_cluster:
+    if wants("cluster"):
         from repro.check.cluster import run_cluster_check
 
         report = run_cluster_check(lines=args.service_lines)
+        print(report.render())
+        if not report.ok:
+            failures += len(report.divergences)
+
+    if wants("inference"):
+        from repro.check.inference import run_inference_check
+
+        report = run_inference_check()
         print(report.render())
         if not report.ok:
             failures += len(report.divergences)

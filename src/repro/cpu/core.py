@@ -124,7 +124,7 @@ class Core:
                     return
                 self._finish()
                 return
-            if type(op) is Compute:
+            if isinstance(op, Compute):
                 self._accum += op.count
                 self.stats.add("instructions", op.count)
                 continue
@@ -147,7 +147,7 @@ class Core:
 
     def _issue_memory(self, op) -> bool:
         """Issue a Load/Store. True if execution continues immediately."""
-        is_write = type(op) is Store
+        is_write = isinstance(op, Store)
         if self._buffer_hazard(op.pattern):
             # Drain the store buffer before crossing pattern classes.
             self._stalled_store = op
@@ -262,7 +262,7 @@ class Core:
         # engine.now is the fill completion; execution resumes one cycle
         # later (the memory instruction itself retires).
         self._accum = 1
-        if type(op) is Load and op.on_value is not None:
+        if isinstance(op, Load) and op.on_value is not None:
             op.on_value(data)
         self._execute()
 

@@ -34,6 +34,14 @@ class Scale:
     htap_l2_size: int
     #: Matrix sizes for Figure 13 (paper: 32..1024).
     gemm_sizes: tuple[int, ...]
+    #: Inference family (repro.infer) shapes, all defaulted so older
+    #: keyword-constructed scales (tests, CHECK_SCALE) stay valid.
+    #: Batched GEMV: (output rows, input dim, batch).
+    infer_gemv: tuple[int, int, int] = (16, 16, 2)
+    #: Embedding-bag: (vocab rows, bags, bag size).
+    infer_embed: tuple[int, int, int] = (64, 6, 4)
+    #: KV-cache attention: decode steps (context grows 1..steps).
+    infer_kv_steps: int = 6
 
 
 QUICK = Scale(
@@ -52,6 +60,9 @@ DEFAULT = Scale(
     htap_tuples=16384,
     htap_l2_size=128 * 1024,
     gemm_sizes=(16, 32, 64),
+    infer_gemv=(32, 32, 2),
+    infer_embed=(128, 8, 6),
+    infer_kv_steps=10,
 )
 
 FULL = Scale(
@@ -61,6 +72,9 @@ FULL = Scale(
     htap_tuples=32768,
     htap_l2_size=256 * 1024,
     gemm_sizes=(16, 32, 64, 96),
+    infer_gemv=(64, 64, 4),
+    infer_embed=(256, 12, 8),
+    infer_kv_steps=16,
 )
 
 _PRESETS = {scale.name: scale for scale in (QUICK, DEFAULT, FULL)}

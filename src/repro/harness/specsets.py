@@ -15,8 +15,17 @@ from repro.harness.common import Scale
 from repro.perf.specs import RunSpec
 
 #: Figures with spec-based drivers (fig7 is a closed-form rendering and
-#: has nothing to trace).
-SPEC_FIGURES = ("fig9", "fig10", "fig11", "fig13")
+#: has nothing to trace). "infer" is the ML-inference family
+#: (repro.infer): not a paper figure, but the same figure-shaped
+#: baseline-vs-GS comparison over GEMV / embedding / KV-cache gathers.
+SPEC_FIGURES = ("fig9", "fig10", "fig11", "fig13", "infer")
+
+#: Cache sizing for the inference family: the paper's interesting
+#: regime has the gathered working set exceed the caches (its 64 MB
+#: table vs 2 MB L2); at repro scale we shrink the caches instead so
+#: the baseline's lane-walk thrashes while gathered lines stay
+#: resident — the same trick the HTAP figure plays with htap_l2_size.
+INFER_CACHE = {"l1_size": 1024, "l2_size": 8192}
 
 
 def figure_specs(figure: str, scale: Scale,
@@ -97,6 +106,25 @@ def figure_specs(figure: str, scale: Scale,
                 ("gs", {"tile": 8}),
             )
         ]
+    if figure == "infer":
+        m, n, batch = scale.infer_gemv
+        vocab, bags, bag_size = scale.infer_embed
+        shapes = {
+            "gemv": {"m": m, "n": n, "batch": batch},
+            "embed": {"vocab": vocab, "bags": bags, "bag_size": bag_size},
+            "kvcache": {"steps": scale.infer_kv_steps},
+        }
+        return [
+            RunSpec(
+                kind="infer",
+                params={"workload": workload, "variant": variant, **shape},
+                config_overrides=dict(INFER_CACHE),
+                seed=11,
+                mode=mode,
+            )
+            for workload, shape in shapes.items()
+            for variant in ("baseline", "gs")
+        ]
     raise ConfigError(
         f"unknown figure {figure!r}; expected one of {SPEC_FIGURES}"
     )
@@ -107,6 +135,9 @@ def spec_label(spec: RunSpec) -> str:
     parts = [spec.kind]
     if spec.layout:
         parts.append(spec.layout)
+    workload = spec.params.get("workload")
+    if workload:
+        parts.append(str(workload))
     variant = spec.params.get("variant")
     if variant:
         parts.append(str(variant))

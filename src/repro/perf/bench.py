@@ -71,6 +71,7 @@ def bench_cases(scale) -> list[BenchCase]:
         "fig10": "fig10-analytics",
         "fig11": "fig11-htap",
         "fig13": "fig13-gemm",
+        "infer": "infer-gather",
     }
     cases = [BenchCase("fig7-patterns", func=render_figure7)]
     for figure in SPEC_FIGURES:
@@ -180,6 +181,44 @@ def _attribution(records: list[Any]) -> dict[str, Any]:
     return out
 
 
+def _infer_block(infer_records: dict[str, list[Any]]) -> dict | None:
+    """Per-workload GS-DRAM-vs-baseline gains for the inference family.
+
+    Built from the run records the bench already produced (no extra
+    simulation): the event side reports the cycle and energy gain, the
+    fast side the work-proxy (memory-access) ratio — the two ways the
+    paper quotes a mechanism win.
+    """
+    if not infer_records:
+        return None
+    block: dict[str, Any] = {}
+    for mode, records in infer_records.items():
+        runs = [getattr(record, "record", record) for record in records]
+        by_key = {(run.workload, run.variant): run for run in runs}
+        workloads: dict[str, Any] = {}
+        for workload in ("gemv", "embed", "kvcache"):
+            baseline = by_key.get((workload, "baseline"))
+            gs = by_key.get((workload, "gs"))
+            if baseline is None or gs is None:
+                continue
+            entry: dict[str, Any] = {
+                "baseline_work": baseline.work_proxy,
+                "gs_work": gs.work_proxy,
+                "gain": (baseline.work_proxy / gs.work_proxy
+                         if gs.work_proxy else None),
+                "verified": baseline.verified and gs.verified,
+            }
+            if mode == "event":
+                gs_energy = gs.result.energy.total_mj
+                entry["energy_gain"] = (
+                    baseline.result.energy.total_mj / gs_energy
+                    if gs_energy else None
+                )
+            workloads[workload] = entry
+        block[mode] = workloads
+    return block or None
+
+
 def machine_fingerprint() -> dict[str, str]:
     return {
         "hostname": socket.gethostname(),
@@ -260,6 +299,7 @@ def run_bench(
     cases_out = []
     total_wall = 0.0
     total_events = 0.0
+    infer_records: dict[str, list[Any]] = {}
     try:
         for case in bench_cases(scale):
             if case.func is not None:
@@ -278,6 +318,10 @@ def run_bench(
                 start = time.perf_counter()
                 run_specs(case.specs, jobs=jobs, cache=cache)
                 warm_wall = time.perf_counter() - start
+            if case.name == "infer-gather":
+                infer_records["event"] = records
+            elif case.name == "infer-gather-fast":
+                infer_records["fast"] = records
             attribution = _attribution(records)
             events = attribution["engine_events"]
             total_wall += cold_wall
@@ -323,6 +367,10 @@ def run_bench(
     if figure_speedups:
         fastpath = dict(fastpath or {}, figures=figure_speedups)
 
+    infer_block = _infer_block(infer_records)
+    if infer_block is not None and "infer-gather" in figure_speedups:
+        infer_block["fast_speedup"] = figure_speedups["infer-gather"]["speedup"]
+
     payload = {
         "schema": 2,  # 2: attribution sourced from the metrics registry
         "timestamp": datetime.datetime.now().isoformat(timespec="seconds"),
@@ -332,6 +380,7 @@ def run_bench(
         "code_version": code_version(),
         "cases": cases_out,
         "fastpath": fastpath,
+        "infer": infer_block,
         "cache": dict(cache.stats, hit_rate=cache.hit_rate),
         "totals": {
             "wall_s": total_wall,
@@ -539,6 +588,14 @@ def render_summary(payload: dict) -> str:
                     f"({entry['event_wall_s']:.3f}s -> "
                     f"{entry['fast_wall_s']:.3f}s)"
                 )
+    infer_block = payload.get("infer")
+    if infer_block:
+        for workload, entry in sorted(infer_block.get("event", {}).items()):
+            if entry.get("gain"):
+                line = f"  infer {workload}: GS-DRAM {entry['gain']:.2f}x"
+                if entry.get("energy_gain"):
+                    line += f" ({entry['energy_gain']:.2f}x energy)"
+                lines.append(line)
     verdict = payload.get("regression_check")
     if verdict:
         status = verdict["status"]

@@ -16,6 +16,11 @@ The on-disk format is line-oriented tab-separated text::
     L  <core> <addr> <size> <patt> <pc>    # load
     S  <core> <addr> <size> <patt> <pc> <payload-hex>   # store
 
+Lines starting with ``#`` are comments; blank lines are ignored; both
+``\n`` and ``\r\n`` line endings parse (externally-authored traces are
+frequently CRLF). A malformed line raises :class:`WorkloadError`
+carrying the 1-based line number and the offending text.
+
 Replayed loads carry no ``on_value`` callbacks (a trace has no
 consumers); replayed stores reproduce their payloads exactly, so the
 final memory state of a replay matches the recording.
@@ -44,32 +49,77 @@ class TraceRecord:
     pc: int = 0
     payload: bytes = b""
 
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on internally inconsistent fields.
+
+        Serialization calls this so an impossible record (a compute
+        burst carrying a payload, a store whose ``size`` disagrees with
+        its payload, negative counts) fails loudly instead of producing
+        a trace file no replay can honour.
+        """
+        if self.kind not in ("C", "L", "S"):
+            raise WorkloadError(f"unknown record kind {self.kind!r}")
+        if self.core < 0:
+            raise WorkloadError("negative core in trace record",
+                                core=self.core)
+        if self.kind == "C":
+            if self.count < 0:
+                raise WorkloadError("compute record with negative count",
+                                    core=self.core, count=self.count)
+            if self.payload:
+                raise WorkloadError("compute record with a payload",
+                                    core=self.core)
+            return
+        if self.address < 0:
+            raise WorkloadError("negative address in trace record",
+                                address=self.address)
+        if self.pattern < 0:
+            raise WorkloadError("negative pattern in trace record",
+                                address=self.address, pattern=self.pattern)
+        if self.kind == "L":
+            if self.size <= 0:
+                raise WorkloadError("load record with non-positive size",
+                                    address=self.address, size=self.size)
+            if self.payload:
+                raise WorkloadError("load record with a payload",
+                                    address=self.address)
+        elif self.size != len(self.payload):
+            raise WorkloadError(
+                "store record size disagrees with payload length",
+                address=self.address, size=self.size,
+                payload_len=len(self.payload),
+            )
+
     def to_line(self) -> str:
+        self.validate()
         if self.kind == "C":
             return f"C\t{self.core}\t{self.count}"
         if self.kind == "L":
             return (f"L\t{self.core}\t{self.address:#x}\t{self.size}\t"
                     f"{self.pattern}\t{self.pc:#x}")
-        if self.kind == "S":
-            return (f"S\t{self.core}\t{self.address:#x}\t{self.size}\t"
-                    f"{self.pattern}\t{self.pc:#x}\t{self.payload.hex()}")
-        raise WorkloadError(f"unknown record kind {self.kind!r}")
+        return (f"S\t{self.core}\t{self.address:#x}\t{self.size}\t"
+                f"{self.pattern}\t{self.pc:#x}\t{self.payload.hex()}")
 
     @classmethod
     def from_line(cls, line: str) -> "TraceRecord":
-        parts = line.rstrip("\n").split("\t")
+        parts = line.rstrip("\r\n").split("\t")
         kind = parts[0]
-        if kind == "C":
-            return cls(kind="C", core=int(parts[1]), count=int(parts[2]))
-        if kind == "L":
-            return cls(kind="L", core=int(parts[1]),
-                       address=int(parts[2], 16), size=int(parts[3]),
-                       pattern=int(parts[4]), pc=int(parts[5], 16))
-        if kind == "S":
-            return cls(kind="S", core=int(parts[1]),
-                       address=int(parts[2], 16), size=int(parts[3]),
-                       pattern=int(parts[4]), pc=int(parts[5], 16),
-                       payload=bytes.fromhex(parts[6]))
+        try:
+            if kind == "C" and len(parts) == 3:
+                return cls(kind="C", core=int(parts[1]), count=int(parts[2]))
+            if kind == "L" and len(parts) == 6:
+                return cls(kind="L", core=int(parts[1]),
+                           address=int(parts[2], 16), size=int(parts[3]),
+                           pattern=int(parts[4]), pc=int(parts[5], 16))
+            if kind == "S" and len(parts) == 7:
+                return cls(kind="S", core=int(parts[1]),
+                           address=int(parts[2], 16), size=int(parts[3]),
+                           pattern=int(parts[4]), pc=int(parts[5], 16),
+                           payload=bytes.fromhex(parts[6]))
+        except ValueError as error:
+            raise WorkloadError(
+                f"malformed trace line: {line!r} ({error})"
+            ) from error
         raise WorkloadError(f"bad trace line: {line!r}")
 
 
@@ -78,16 +128,21 @@ def record_ops(ops: Iterable, core: int, sink: list[TraceRecord]) -> Iterator:
 
     Wrap a program before handing it to ``System.run``; the recorded
     trace lands in ``sink`` as the core consumes the stream.
+
+    Matching is by ``isinstance`` (Compute first, mirroring the core's
+    dispatch order), so instrumented subclasses of the ISA ops — e.g.
+    the traffic-counting wrappers the :mod:`repro.infer` generators
+    emit — record as their base kind.
     """
     for op in ops:
-        if type(op) is Compute:
+        if isinstance(op, Compute):
             sink.append(TraceRecord(kind="C", core=core, count=op.count))
-        elif type(op) is Load:
+        elif isinstance(op, Load):
             sink.append(TraceRecord(
                 kind="L", core=core, address=op.address, size=op.size,
                 pattern=op.pattern, pc=op.pc,
             ))
-        elif type(op) is Store:
+        elif isinstance(op, Store):
             sink.append(TraceRecord(
                 kind="S", core=core, address=op.address, size=op.size,
                 pattern=op.pattern, pc=op.pc, payload=bytes(op.payload),
@@ -127,8 +182,26 @@ def save_trace(records: Iterable[TraceRecord], stream: TextIO) -> int:
 
 
 def load_trace(stream: TextIO) -> list[TraceRecord]:
-    """Read a trace written by :func:`save_trace`."""
-    return [TraceRecord.from_line(line) for line in stream if line.strip()]
+    """Read a trace written by :func:`save_trace`.
+
+    Tolerates CRLF line endings, skips blank and ``#``-comment lines,
+    and wraps any parse failure in a :class:`WorkloadError` naming the
+    1-based line number and the offending text.
+    """
+    records = []
+    for number, raw in enumerate(stream, start=1):
+        line = raw.rstrip("\r\n")
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            records.append(TraceRecord.from_line(line))
+        except WorkloadError as error:
+            raise WorkloadError(
+                f"trace line {number}: {line!r}: {error.message}",
+                line=number,
+            ) from error
+    return records
 
 
 def trace_to_text(records: Iterable[TraceRecord]) -> str:

@@ -284,10 +284,10 @@ class FastSystem:
         translate = self.page_table.translate
         filled: list[bytes] = []
         for op in ops:
-            if type(op) is Compute:
+            if isinstance(op, Compute):
                 stats.add("instructions", op.count)
                 continue
-            is_write = type(op) is Store
+            is_write = isinstance(op, Store)
             stats.add("instructions")
             stats.add("stores" if is_write else "loads")
             paddr, shuffled, alt_pattern = translate(op.address)

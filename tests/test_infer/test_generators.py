@@ -1,0 +1,109 @@
+"""Oracle and structure tests for the inference workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.infer.generators import (
+    GATHER_PATTERN,
+    PC_EMBED_TABLE,
+    PC_GEMV_W,
+    PC_KV_KEY,
+    PREPARERS,
+    VARIANTS,
+    WORKLOADS,
+)
+from repro.sim.config import plain_dram_config, table1_config
+from repro.sim.system import System
+
+SMALL = {
+    "gemv": {"m": 16, "n": 16, "batch": 1},
+    "embed": {"vocab": 32, "bags": 4, "bag_size": 3},
+    "kvcache": {"steps": 4},
+}
+
+
+def build_system(variant):
+    config = table1_config() if variant == "gs" else plain_dram_config()
+    return System(config)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("variant", VARIANTS)
+class TestOracles:
+    def test_run_verifies(self, workload, variant):
+        system = build_system(variant)
+        prepared = PREPARERS[workload](system, variant, **SMALL[workload])
+        system.run([prepared.ops()])
+        verified, answer = prepared.finalize()
+        assert verified
+        assert len(answer) == 64  # sha256 hex
+
+    def test_memory_image_matches_oracle(self, workload, variant):
+        system = build_system(variant)
+        prepared = PREPARERS[workload](system, variant, **SMALL[workload])
+        system.run([prepared.ops()])
+        assert prepared.read_image(system) == prepared.expected_image()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_variants_compute_identical_answers(workload):
+    answers = {}
+    for variant in VARIANTS:
+        system = build_system(variant)
+        prepared = PREPARERS[workload](system, variant, **SMALL[workload])
+        system.run([prepared.ops()])
+        _, answers[variant] = prepared.finalize()
+    assert answers["baseline"] == answers["gs"]
+
+
+class TestTrafficShape:
+    def test_gs_issues_fewer_gather_ops(self):
+        """4 sixteen-byte pattloads replace 8 scalar loads per group."""
+        counts = {}
+        for variant in VARIANTS:
+            system = build_system(variant)
+            prepared = PREPARERS["gemv"](system, variant, **SMALL["gemv"])
+            system.run([prepared.ops()])
+            counts[variant] = prepared.pc_traffic[PC_GEMV_W]
+        assert counts["gs"] * 2 == counts["baseline"]
+
+    @pytest.mark.parametrize(
+        "workload,pc",
+        [("gemv", PC_GEMV_W), ("embed", PC_EMBED_TABLE), ("kvcache", PC_KV_KEY)],
+    )
+    def test_pc_traffic_recorded(self, workload, pc):
+        system = build_system("gs")
+        prepared = PREPARERS[workload](system, "gs", **SMALL[workload])
+        system.run([prepared.ops()])
+        assert prepared.pc_traffic[pc] > 0
+
+    def test_regions_cover_footprint(self):
+        """Shuffled allocations page-round; regions must track each
+        allocation separately, never assume contiguity."""
+        system = build_system("gs")
+        prepared = PREPARERS["gemv"](system, "gs", **SMALL["gemv"])
+        assert len(prepared.regions) == 3
+        for base, size in prepared.regions:
+            assert size > 0
+            # Readable without error = the region really was allocated.
+            assert len(system.mem_read(base, size)) == size
+
+
+class TestValidation:
+    def test_unknown_variant_rejected(self):
+        system = build_system("baseline")
+        with pytest.raises(WorkloadError):
+            PREPARERS["gemv"](system, "nope", **SMALL["gemv"])
+
+    def test_gemv_shape_must_be_group_aligned(self):
+        system = build_system("baseline")
+        with pytest.raises(WorkloadError):
+            PREPARERS["gemv"](system, "baseline", m=12, n=16, batch=1)
+
+    def test_kvcache_requires_eight_heads(self):
+        system = build_system("baseline")
+        with pytest.raises(WorkloadError):
+            PREPARERS["kvcache"](system, "baseline", steps=4, heads=4)
+
+    def test_gather_pattern_is_full_group(self):
+        assert GATHER_PATTERN == 7

@@ -79,14 +79,16 @@ class TestBenchCases:
         names = {case.name for case in bench_cases(scale_by_name("quick"))}
         assert names == {"fig7-patterns", "fig9-transactions",
                          "fig10-analytics", "fig11-htap", "fig13-gemm",
-                         "fig7-sweep-event", "fig7-sweep-fast",
-                         "fig9-transactions-fast", "fig10-analytics-fast",
-                         "fig11-htap-fast", "fig13-gemm-fast"}
+                         "infer-gather", "fig7-sweep-event",
+                         "fig7-sweep-fast", "fig9-transactions-fast",
+                         "fig10-analytics-fast", "fig11-htap-fast",
+                         "fig13-gemm-fast", "infer-gather-fast"}
 
     def test_figure_fast_cases_use_fast_specs(self):
         cases = {case.name: case for case in bench_cases(scale_by_name("quick"))}
         for name in ("fig9-transactions-fast", "fig10-analytics-fast",
-                     "fig11-htap-fast", "fig13-gemm-fast"):
+                     "fig11-htap-fast", "fig13-gemm-fast",
+                     "infer-gather-fast"):
             assert {s.mode for s in cases[name].specs} == {"fast"}, name
             event_twin = cases[name.removesuffix("-fast")]
             assert {s.mode for s in event_twin.specs} == {"event"}, name

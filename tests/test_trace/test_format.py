@@ -73,6 +73,116 @@ class TestSerialization:
         records = load_trace(io.StringIO("\nC\t0\t5\n\n"))
         assert len(records) == 1
 
+    def test_malformed_fields_raise_workload_error(self):
+        """Bare ValueError/IndexError must not escape from_line."""
+        for line in (
+            "C\t0",                      # too few fields
+            "C\t0\tfive",                # non-integer count
+            "L\t0\t0x10\t8\t0",          # missing pc field
+            "L\t0\tzz\t8\t0\t0x40",      # bad hex address
+            "S\t0\t0x10\t2\t0\t0x40\txy",  # bad hex payload
+            "L\t0\t0x10\t8\t0\t0x40\textra",  # trailing field
+        ):
+            with pytest.raises(WorkloadError):
+                TraceRecord.from_line(line)
+
+    def test_crlf_lines_parse(self):
+        """Traces written on Windows (or over HTTP) end lines with CRLF."""
+        text = "C\t0\t5\r\nL\t0\t0x40\t8\t0\t0x50\r\n"
+        records = load_trace(io.StringIO(text))
+        assert [r.kind for r in records] == ["C", "L"]
+        assert records[1].address == 0x40
+
+    def test_comment_lines_skipped(self):
+        text = "# tool banner\nC\t0\t5\n  # indented comment\nC\t0\t6\n"
+        records = load_trace(io.StringIO(text))
+        assert [r.count for r in records] == [5, 6]
+
+    def test_load_trace_error_carries_line_number(self):
+        stream = io.StringIO("C\t0\t1\n\nX\t0\t0\n")
+        with pytest.raises(WorkloadError) as excinfo:
+            load_trace(stream)
+        message = str(excinfo.value)
+        assert "line 3" in message
+        assert "X\\t0\\t0" in message or "X" in message
+
+    def test_empty_payload_store_round_trips(self):
+        record = TraceRecord(kind="S", core=0, address=0x80, size=0,
+                             pattern=0, pc=0x60, payload=b"")
+        parsed = TraceRecord.from_line(record.to_line())
+        assert parsed == record
+        assert parsed.payload == b""
+
+
+class TestToLineValidation:
+    def test_compute_with_payload_rejected(self):
+        record = TraceRecord(kind="C", core=0, count=4, payload=b"\x01")
+        with pytest.raises(WorkloadError):
+            record.to_line()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(kind="C", core=0, count=-1).to_line()
+
+    def test_nonpositive_load_size_rejected(self):
+        record = TraceRecord(kind="L", core=0, address=0x40, size=0,
+                             pattern=0, pc=0)
+        with pytest.raises(WorkloadError):
+            record.to_line()
+
+    def test_store_size_payload_mismatch_rejected(self):
+        record = TraceRecord(kind="S", core=0, address=0x40, size=8,
+                             pattern=0, pc=0, payload=b"\x01\x02")
+        with pytest.raises(WorkloadError):
+            record.to_line()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(kind="Z", core=0).to_line()
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(kind="C", core=-1, count=1).to_line()
+
+
+class TestSubclassRecording:
+    """record_ops must accept Load/Store subclasses (repro.infer's
+    counting wrappers) — the old ``type(op) is Load`` check dropped
+    them with a WorkloadError."""
+
+    def test_subclassed_ops_record(self):
+        class TaggedLoad(Load):
+            __slots__ = ()
+
+        class TaggedStore(Store):
+            __slots__ = ()
+
+        records = []
+        ops = [
+            TaggedLoad(0x100, size=8, pattern=0, pc=0x10),
+            TaggedStore(0x140, b"\x02" * 8, pattern=7, pc=0x14),
+        ]
+        out = list(record_ops(iter(ops), core=0, sink=records))
+        assert out == ops
+        assert [r.kind for r in records] == ["L", "S"]
+        assert records[1].payload == b"\x02" * 8
+
+    def test_compute_subclass_records(self):
+        class Burst(Compute):
+            __slots__ = ()
+
+        records = []
+        list(record_ops([Burst(9)], core=0, sink=records))
+        assert records[0].kind == "C" and records[0].count == 9
+
+    def test_store_subclass_serialises_as_store(self):
+        class CountingStore(Store):
+            __slots__ = ()
+
+        records = []
+        list(record_ops([CountingStore(0x80, b"\x03" * 8)], 0, records))
+        assert records[0].kind == "S"
+
 
 class TestReplay:
     def test_replay_reconstructs_ops(self):

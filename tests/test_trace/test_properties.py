@@ -1,0 +1,150 @@
+"""Property-based tests for the trace format.
+
+The format's contract: any well-formed record list survives text
+serialisation byte-exactly (including empty-payload stores and CRLF
+re-encodings), ``record_ops`` + ``replay_ops`` are inverse up to op
+identity, and multi-core traces partition cleanly by core.
+
+The default profile is derandomized (see tests/conftest.py), so these
+run as fixed regressions in tier-1 and CI; use HYPOTHESIS_PROFILE=deep
+for a wider local search.
+"""
+
+import io
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.cpu.isa import Compute, Load, Store  # noqa: E402
+from repro.trace.format import (  # noqa: E402
+    TraceRecord,
+    cores_in,
+    load_trace,
+    record_ops,
+    replay_ops,
+    save_trace,
+    trace_from_text,
+    trace_to_text,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+patterns = st.integers(min_value=0, max_value=7)
+pcs = st.integers(min_value=0, max_value=(1 << 32) - 1)
+cores = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def trace_records(draw):
+    kind = draw(st.sampled_from(("C", "L", "S")))
+    core = draw(cores)
+    if kind == "C":
+        return TraceRecord(kind="C", core=core,
+                           count=draw(st.integers(0, 10_000)))
+    if kind == "L":
+        return TraceRecord(
+            kind="L", core=core, address=draw(addresses),
+            size=draw(st.sampled_from((1, 2, 4, 8, 16, 32, 64))),
+            pattern=draw(patterns), pc=draw(pcs),
+        )
+    # Stores: payload drives size; empty payloads are legal and must
+    # survive the trailing-empty-hex-field encoding.
+    payload = draw(st.binary(min_size=0, max_size=64))
+    return TraceRecord(
+        kind="S", core=core, address=draw(addresses), size=len(payload),
+        pattern=draw(patterns), pc=draw(pcs), payload=payload,
+    )
+
+
+record_lists = st.lists(trace_records(), max_size=30)
+
+
+class TestRoundTrip:
+    @given(records=record_lists)
+    def test_text_round_trip_is_identity(self, records):
+        assert trace_from_text(trace_to_text(records)) == records
+
+    @given(records=record_lists)
+    def test_stream_round_trip_is_identity(self, records):
+        buffer = io.StringIO()
+        assert save_trace(records, buffer) == len(records)
+        buffer.seek(0)
+        assert load_trace(buffer) == records
+
+    @given(records=record_lists)
+    def test_crlf_reencoding_parses_identically(self, records):
+        text = trace_to_text(records)
+        crlf = text.replace("\n", "\r\n")
+        assert trace_from_text(crlf) == records
+
+    @given(records=record_lists, position=st.integers(0, 30))
+    def test_comment_insertion_is_invisible(self, records, position):
+        lines = trace_to_text(records).splitlines()
+        lines.insert(min(position, len(lines)), "# injected comment")
+        assert trace_from_text("\n".join(lines) + "\n") == records
+
+    @given(record=trace_records())
+    def test_single_line_round_trip(self, record):
+        assert TraceRecord.from_line(record.to_line()) == record
+
+
+def _ops_from(records):
+    """Materialise per-core op lists equivalent to ``records``."""
+    out = []
+    for record in records:
+        if record.kind == "C":
+            out.append(Compute(record.count))
+        elif record.kind == "L":
+            out.append(Load(record.address, size=record.size,
+                            pattern=record.pattern, pc=record.pc))
+        else:
+            out.append(Store(record.address, record.payload,
+                             pattern=record.pattern, pc=record.pc))
+    return out
+
+
+class TestRecordReplay:
+    @given(records=record_lists)
+    def test_record_then_replay_preserves_fields(self, records):
+        by_core = {}
+        for record in records:
+            by_core.setdefault(record.core, []).append(record)
+        recorded = []
+        for core, core_records in sorted(by_core.items()):
+            list(record_ops(iter(_ops_from(core_records)), core, recorded))
+        # Per-core replay sees exactly that core's ops, in order.
+        for core, core_records in by_core.items():
+            replayed = list(replay_ops(recorded, core=core))
+            assert len(replayed) == len(core_records)
+            for op, record in zip(replayed, core_records):
+                if record.kind == "C":
+                    assert isinstance(op, Compute)
+                    assert op.count == record.count
+                elif record.kind == "L":
+                    assert isinstance(op, Load)
+                    assert (op.address, op.size, op.pattern, op.pc) == (
+                        record.address, record.size, record.pattern,
+                        record.pc)
+                else:
+                    assert isinstance(op, Store)
+                    assert op.payload == record.payload
+                    assert (op.address, op.pattern, op.pc) == (
+                        record.address, record.pattern, record.pc)
+
+    @given(records=record_lists)
+    def test_cores_in_matches_record_cores(self, records):
+        assert cores_in(records) == sorted({r.core for r in records})
+
+    @given(records=record_lists)
+    def test_multicore_interleaving_partitions(self, records):
+        """Interleaved multi-core traces split losslessly by core."""
+        partitions = {
+            core: [r for r in records if r.core == core]
+            for core in cores_in(records)
+        }
+        assert sum(len(p) for p in partitions.values()) == len(records)
+        for core, expected in partitions.items():
+            replayed = list(replay_ops(records, core=core))
+            assert len(replayed) == len(expected)

@@ -2,14 +2,17 @@
 
 Commands:
 
-- ``figures [--scale quick|default|full] [--jobs N]`` — run every
-  paper-figure driver and print the reproduced tables (no pytest
-  needed). Finished figures are memoised in the result cache, so a
-  rerun at the same scale and code version is nearly instant; set
-  ``REPRO_CACHE=0`` to force fresh simulations.
-- ``bench [--scale ...] [--jobs N]`` — time the tier-1 workloads,
-  write a ``BENCH_<date>.json`` baseline, and fail on wall-clock
-  regression against the previous baseline (see docs/TESTING.md).
+- ``figures [figure] [--scale quick|default|full|paper] [--mode
+  event|fast] [--jobs N]`` — run every paper-figure driver (or just
+  one) and print the reproduced tables (no pytest needed). Finished
+  figures are memoised in the result cache, so a rerun at the same
+  scale and code version is nearly instant; set ``REPRO_CACHE=0`` to
+  force fresh simulations. The ``paper`` scale is fast-path only:
+  pick one figure and pass ``--mode fast``.
+- ``bench [--scale ...] [--jobs N] [--profile]`` — time the tier-1
+  workloads, write a ``BENCH_<date>.json`` baseline, and fail on
+  wall-clock regression against the previous baseline (see
+  docs/TESTING.md). ``--profile`` additionally cProfiles each case.
 - ``quickstart`` — the substrate walk-through (same as
   examples/quickstart.py).
 - ``report`` — regenerate EXPERIMENTS.md from benchmarks/results/.
@@ -40,7 +43,18 @@ import os
 import sys
 
 
-def run_figures(scale_name: str, jobs: int | None = None) -> int:
+#: Figure drivers that accept ``mode=`` (event vs vectorized fast path).
+MODE_FIGURES = ("fig9", "fig10", "fig11", "fig13")
+#: Everything ``repro figures`` knows how to run.
+ALL_FIGURES = ("fig7", "fig9", "fig10", "fig11", "fig12", "fig13")
+
+
+def run_figures(
+    scale_name: str,
+    jobs: int | None = None,
+    figure: str | None = None,
+    mode: str | None = None,
+) -> int:
     os.environ["REPRO_SCALE"] = scale_name
     from repro.harness import (
         current_scale,
@@ -54,6 +68,24 @@ def run_figures(scale_name: str, jobs: int | None = None) -> int:
     from repro.perf import default_cache
 
     scale = current_scale()
+    run_mode = mode or "event"
+    if run_mode == "fast" and figure not in MODE_FIGURES:
+        print(
+            "error: --mode fast needs a single mode-capable figure "
+            f"({', '.join(MODE_FIGURES)}), e.g. "
+            "`repro figures fig9 --mode fast`",
+            file=sys.stderr,
+        )
+        return 2
+    if scale.name == "paper" and run_mode == "event":
+        print(
+            "error: scale 'paper' is out of reach for the event-mode "
+            "simulator (paper-scale replay alone is ~10^7 accesses); "
+            "rerun one figure on the vectorized path, e.g. "
+            "`repro figures fig9 --scale paper --mode fast`",
+            file=sys.stderr,
+        )
+        return 2
     cache = default_cache()
 
     def memo(name, build):
@@ -61,6 +93,8 @@ def run_figures(scale_name: str, jobs: int | None = None) -> int:
         if cache is None:
             return build()
         key = f"figure:{name}:scale={scale.name}"
+        if run_mode != "event":
+            key += f":mode={run_mode}"
         hit = cache.get(key)
         if hit is not None:
             return hit
@@ -68,25 +102,33 @@ def run_figures(scale_name: str, jobs: int | None = None) -> int:
         cache.put(key, value)
         return value
 
-    print(f"running all figure drivers at scale '{scale.name}'\n")
-    print(memo("fig7", render_figure7), "\n")
+    wanted = ALL_FIGURES if figure is None else (figure,)
+    label = "all figure drivers" if figure is None else f"figure driver {figure}"
+    print(f"running {label} at scale '{scale.name}' (mode {run_mode})\n")
+    if "fig7" in wanted:
+        print(memo("fig7", render_figure7), "\n")
     for name, runner in (("fig9", run_figure9), ("fig10", run_figure10),
                          ("fig13", run_figure13)):
-        outputs = memo(name, lambda runner=runner: runner(scale, jobs=jobs))
+        if name not in wanted:
+            continue
+        outputs = memo(name, lambda runner=runner: runner(
+            scale, jobs=jobs, mode=run_mode))
         for output in outputs:
             print(output.render(), "\n")
-    analytics, throughput, summary = memo(
-        "fig11", lambda: run_figure11(scale, jobs=jobs)
-    )
-    print(analytics.render(), "\n")
-    print(throughput.render(), "\n")
-    print(summary.render(), "\n")
-    perf, energy, summary12 = memo(
-        "fig12", lambda: run_figure12(scale, jobs=jobs)
-    )
-    print(perf.render(), "\n")
-    print(energy.render(), "\n")
-    print(summary12.render())
+    if "fig11" in wanted:
+        analytics, throughput, summary = memo(
+            "fig11", lambda: run_figure11(scale, jobs=jobs, mode=run_mode)
+        )
+        print(analytics.render(), "\n")
+        print(throughput.render(), "\n")
+        print(summary.render(), "\n")
+    if "fig12" in wanted:
+        perf, energy, summary12 = memo(
+            "fig12", lambda: run_figure12(scale, jobs=jobs)
+        )
+        print(perf.render(), "\n")
+        print(energy.render(), "\n")
+        print(summary12.render())
     return 0
 
 
@@ -112,6 +154,7 @@ def run_bench_command(args) -> int:
         threshold=args.threshold,
         check_regression=not args.no_regression_check,
         write=not args.dry_run,
+        profile=args.profile,
     )
     print(render_summary(payload))
     return exit_code
@@ -132,19 +175,27 @@ def main(argv: list[str] | None = None) -> int:
 
         return check_main(argv[1:])
 
+    from repro.harness.common import scale_names
+
+    scales = scale_names()
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     figures = sub.add_parser("figures", help="reproduce every paper figure")
-    figures.add_argument("--scale", default="quick",
-                         choices=["quick", "default", "full"])
+    figures.add_argument("figure", nargs="?", default=None,
+                         choices=list(ALL_FIGURES),
+                         help="run just this figure (default: all)")
+    figures.add_argument("--scale", default="quick", choices=scales)
+    figures.add_argument("--mode", default=None, choices=["event", "fast"],
+                         help="execution mode for mode-capable figures "
+                              "(paper scale requires a single figure in "
+                              "--mode fast)")
     figures.add_argument("--jobs", type=int, default=None,
                          help="parallel simulation workers "
                               "(default: REPRO_JOBS or 1)")
     bench = sub.add_parser(
         "bench", help="time the tier-1 workloads; write a BENCH baseline"
     )
-    bench.add_argument("--scale", default="quick",
-                       choices=["quick", "default", "full"])
+    bench.add_argument("--scale", default="quick", choices=scales)
     bench.add_argument("--jobs", type=int, default=None,
                        help="parallel simulation workers "
                             "(default: REPRO_JOBS or 1)")
@@ -160,14 +211,16 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--cluster", type=int, default=None, metavar="N",
                        help="time a sharded figure sweep at cluster sizes "
                             "1 and N; writes CLUSTER_*.json instead")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile every case (forces --jobs 1) and "
+                            "write PROFILE_*.txt next to the BENCH json")
     from repro.harness.specsets import SPEC_FIGURES
 
     trace = sub.add_parser(
         "trace", help="write a Chrome-trace JSON for one figure's runs"
     )
     trace.add_argument("figure", choices=list(SPEC_FIGURES))
-    trace.add_argument("--scale", default="quick",
-                       choices=["quick", "default", "full"])
+    trace.add_argument("--scale", default="quick", choices=scales)
     trace.add_argument("--jobs", type=int, default=None,
                        help="parallel simulation workers "
                             "(default: REPRO_JOBS or 1)")
@@ -182,8 +235,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics", help="dump the merged metrics-registry snapshot for one figure"
     )
     metrics.add_argument("figure", choices=list(SPEC_FIGURES))
-    metrics.add_argument("--scale", default="quick",
-                         choices=["quick", "default", "full"])
+    metrics.add_argument("--scale", default="quick", choices=scales)
     metrics.add_argument("--jobs", type=int, default=None,
                          help="parallel simulation workers "
                               "(default: REPRO_JOBS or 1)")
@@ -240,8 +292,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="JSON file with one spec or a list of specs")
     submit.add_argument("--figure", default=None, choices=list(SPEC_FIGURES),
                         help="submit that figure's representative specs")
-    submit.add_argument("--scale", default="quick",
-                        choices=["quick", "default", "full"])
+    submit.add_argument("--scale", default="quick", choices=scales)
     submit.add_argument("--patternscan", default=None, metavar="VARIANT:STRIDE",
                         help="one fig7-style point, e.g. gathered:4")
     submit.add_argument("--lines", type=int, default=2048,
@@ -269,7 +320,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "figures":
-        return run_figures(args.scale, jobs=args.jobs)
+        return run_figures(args.scale, jobs=args.jobs, figure=args.figure,
+                           mode=args.mode)
     if args.command == "bench":
         return run_bench_command(args)
     if args.command == "trace":

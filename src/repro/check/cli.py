@@ -20,8 +20,8 @@ from repro.check.invariants import run_all_invariants
 
 #: Stage names accepted as positional selectors (``repro check
 #: inference`` runs just that battery).
-STAGES = ("invariants", "differential", "fastpath", "service", "cluster",
-          "inference")
+STAGES = ("invariants", "differential", "fastpath", "oracles", "service",
+          "cluster", "inference")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--skip-fastpath", action="store_true",
         help="skip the event-vs-fast equivalence battery",
+    )
+    parser.add_argument(
+        "--skip-oracles", action="store_true",
+        help="skip the scalar-vs-vectorized oracle differential",
     )
     parser.add_argument(
         "--skip-service", action="store_true",
@@ -108,6 +112,14 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             max_ops=args.max_ops,
         )
+        print(report.render())
+        if not report.ok:
+            failures += len(report.divergences)
+
+    if wants("oracles"):
+        from repro.check.oracles import run_oracles
+
+        report = run_oracles(seed=args.seed)
         print(report.render())
         if not report.ok:
             failures += len(report.divergences)

@@ -1,0 +1,236 @@
+"""Scalar-vs-vectorized oracle differential (``repro check oracles``).
+
+Phase 3 replaced the per-transaction Python oracle with columnar numpy
+twins (:class:`~repro.db.table.VecOracleTable`, and the batch workload
+generator behind it). The two implementations share no algorithm — the
+scalar table replays transactions sequentially; the vectorized table
+sorts writes by cell and resolves observed reads with a searchsorted
+last-write lookup — so agreement over randomized workloads is strong
+evidence both are right, and the figure pipelines may verify fast-mode
+runs with the cheap oracle without circularity.
+
+Each trial draws a random table shape and transaction batch, applies
+it through both oracles, and compares:
+
+- every observed read value, in program order;
+- the final table state (row-for-row) and its content digest;
+- every analytics answer: per-field column sums, filtered aggregates
+  under each comparison operator (including ``COUNT(*)``), and a
+  grouped sum over a deliberately low-cardinality key column.
+
+Edge trials cover the empty table, the single-tuple table (every
+transaction collides), an all-writes mix, and hand-built duplicate-key
+transactions that write the same field of the same tuple repeatedly —
+the last-write-wins resolution both oracles must implement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.queries import (
+    Comparison,
+    FilterQuery,
+    GroupByQuery,
+    oracle_filter,
+    oracle_groupby,
+)
+from repro.db.schema import TableSchema
+from repro.db.table import OracleTable, VecOracleTable, table_digest
+from repro.db.workload import (
+    AnalyticsQuery,
+    FieldOp,
+    Transaction,
+    TransactionMix,
+    generate_transaction_arrays,
+)
+
+#: Randomized (num_fields, num_tuples, mix, count) trial grid.
+TRIAL_SHAPES = (
+    (8, 64, TransactionMix(1, 0, 1), 96),
+    (8, 256, TransactionMix(2, 4, 0), 128),
+    (8, 512, TransactionMix(4, 2, 2), 160),
+    (4, 128, TransactionMix(1, 1, 1), 96),
+    (2, 32, TransactionMix(1, 1, 0), 64),
+    (16, 128, TransactionMix(6, 1, 0), 96),
+    # Single tuple: every transaction hits the same row, so observed
+    # reads chain through the whole batch's write history.
+    (8, 1, TransactionMix(2, 2, 2), 64),
+    # All writes: no observed reads, pure last-write-wins state.
+    (8, 64, TransactionMix(0, 6, 0), 128),
+)
+
+
+@dataclass
+class OracleDivergence:
+    """One scalar-vs-vectorized disagreement."""
+
+    where: str
+    what: str
+
+    def render(self) -> str:
+        return f"{self.where}: {self.what}"
+
+
+@dataclass
+class OracleReport:
+    """Aggregated outcome of the oracle differential."""
+
+    trials: int = 0
+    values_compared: int = 0
+    divergences: list[OracleDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        status = "OK" if self.ok else f"{len(self.divergences)} DIVERGENCES"
+        lines = [
+            f"oracles: {self.trials} scalar-vs-vectorized trials, "
+            f"{self.values_compared} values compared, {status}"
+        ]
+        lines.extend(f"  {d.render()}" for d in self.divergences[:20])
+        return "\n".join(lines)
+
+
+def _random_rows(rng: random.Random, num_tuples: int,
+                 num_fields: int) -> list[list[int]]:
+    return [
+        [rng.randrange(1 << 32) for _ in range(num_fields)]
+        for _ in range(num_tuples)
+    ]
+
+
+def _compare_tables(report: OracleReport, where: str,
+                    scalar: OracleTable, vec: VecOracleTable,
+                    observed_scalar: list[int],
+                    observed_vec: np.ndarray) -> None:
+    report.values_compared += len(observed_scalar) or 1
+    if observed_scalar != observed_vec.tolist():
+        report.divergences.append(OracleDivergence(
+            where, "observed read values differ between oracles"))
+    report.values_compared += 1
+    if scalar.rows != vec.snapshot():
+        report.divergences.append(OracleDivergence(
+            where, "final table state differs between oracles"))
+    report.values_compared += 1
+    if table_digest(scalar.rows) != vec.digest():
+        report.divergences.append(OracleDivergence(
+            where, "table content digests differ between oracles"))
+
+
+def _compare_analytics(report: OracleReport, where: str,
+                       scalar: OracleTable, vec: VecOracleTable,
+                       num_fields: int, rng: random.Random) -> None:
+    for k in range(num_fields):
+        query = AnalyticsQuery((k,))
+        report.values_compared += 1
+        if scalar.column_sum(query) != vec.column_sum(query):
+            report.divergences.append(OracleDivergence(
+                where, f"column_sum(f{k}) differs between oracles"))
+    if num_fields < 2:
+        return
+    threshold = rng.randrange(1 << 32)
+    for op in Comparison:
+        for value_field in (None, 1):
+            query = FilterQuery(predicate_field=0, op=op,
+                                threshold=threshold,
+                                value_field=value_field)
+            expected = oracle_filter(scalar.rows, query)
+            got = vec.filter(query)
+            report.values_compared += 2
+            if (expected.matches, expected.aggregate) != (
+                    got.matches, got.aggregate):
+                report.divergences.append(OracleDivergence(
+                    where, f"filter [{query.label}] differs between oracles"))
+    group = GroupByQuery(key_field=0, value_field=1)
+    report.values_compared += 1
+    if oracle_groupby(scalar.rows, group) != vec.groupby(group):
+        report.divergences.append(OracleDivergence(
+            where, f"groupby [{group.label}] differs between oracles"))
+
+
+def _duplicate_key_transactions(rng: random.Random, num_tuples: int,
+                                num_fields: int,
+                                count: int) -> list[Transaction]:
+    """Transactions that repeatedly read+write one (tuple, field) cell.
+
+    The batch generator draws *distinct* fields within a transaction;
+    these hand-built transactions hammer the same cell several times in
+    one transaction, so each read must observe the immediately
+    preceding write, not merely the last one in the batch.
+    """
+    txns = []
+    for _ in range(count):
+        tuple_id = rng.randrange(num_tuples)
+        fld = rng.randrange(num_fields)
+        ops: list[FieldOp] = []
+        for _ in range(rng.randrange(2, 5)):
+            ops.append(FieldOp(fld, write=False))
+            ops.append(FieldOp(fld, write=True, value=rng.randrange(1 << 40)))
+        txns.append(Transaction(tuple_id, tuple(ops)))
+    return txns
+
+
+def run_oracles(seed: int = 2015) -> OracleReport:
+    """Run the full scalar-vs-vectorized oracle differential."""
+    report = OracleReport()
+    rng = random.Random(seed)
+
+    for index, (num_fields, num_tuples, mix, count) in enumerate(TRIAL_SHAPES):
+        where = (f"trial[{index}] fields={num_fields} tuples={num_tuples} "
+                 f"mix={mix.label}")
+        schema = TableSchema(num_fields=num_fields)
+        rows = _random_rows(rng, num_tuples, num_fields)
+        arrays = generate_transaction_arrays(
+            schema, num_tuples, mix, count, seed=seed + index
+        )
+        scalar = OracleTable(schema, [list(row) for row in rows])
+        vec = VecOracleTable(schema, rows)
+        observed_scalar = scalar.apply_all(arrays.to_transactions())
+        observed_vec = vec.apply_all(arrays)
+        report.trials += 1
+        _compare_tables(report, where, scalar, vec,
+                        observed_scalar, observed_vec)
+        _compare_analytics(report, where, scalar, vec, num_fields, rng)
+
+    # Empty cases: no tuples, and a no-op transaction batch.
+    schema = TableSchema()
+    empty_scalar = OracleTable(schema, [])
+    empty_vec = VecOracleTable(schema, [])
+    report.trials += 1
+    _compare_tables(report, "trial[empty-table]", empty_scalar, empty_vec,
+                    empty_scalar.apply_all([]),
+                    empty_vec.apply_all([]))
+
+    rows = _random_rows(rng, 16, schema.num_fields)
+    scalar = OracleTable(schema, [list(row) for row in rows])
+    vec = VecOracleTable(schema, rows)
+    empty_batch = generate_transaction_arrays(
+        schema, 16, TransactionMix(1, 1, 0), 0, seed=seed
+    )
+    report.trials += 1
+    _compare_tables(report, "trial[empty-batch]", scalar, vec,
+                    scalar.apply_all(empty_batch.to_transactions()),
+                    vec.apply_all(empty_batch))
+
+    # Duplicate-key updates (object-form transactions on both sides).
+    for num_tuples in (1, 8, 64):
+        where = f"trial[dup-key] tuples={num_tuples}"
+        rows = _random_rows(rng, num_tuples, schema.num_fields)
+        txns = _duplicate_key_transactions(
+            rng, num_tuples, schema.num_fields, count=48
+        )
+        scalar = OracleTable(schema, [list(row) for row in rows])
+        vec = VecOracleTable(schema, rows)
+        report.trials += 1
+        _compare_tables(report, where, scalar, vec,
+                        scalar.apply_all(txns), vec.apply_all(txns))
+        _compare_analytics(report, where, scalar, vec,
+                           schema.num_fields, rng)
+
+    return report

@@ -3,8 +3,17 @@
 Each driver builds a fresh simulated machine appropriate for the
 layout (commodity DRAM for Row/Column Store, GS-DRAM for the GS
 store), loads the table, runs the workload to completion, verifies the
-functional answers against :class:`~repro.db.table.OracleTable`, and
-returns the :class:`~repro.sim.results.RunResult`.
+functional answers against the table oracles, and returns the
+:class:`~repro.sim.results.RunResult`.
+
+Verification is mode-matched (phase 3): event runs check against the
+scalar :class:`~repro.db.table.OracleTable`, vectorized fast runs
+check against :class:`~repro.db.table.VecOracleTable` — a numpy oracle
+whose algorithms are independent of the fast engines' kernels, so the
+comparison stays a real check while paper-scale verification runs in
+milliseconds (``repro check oracles`` holds the two oracles equal).
+Every driver stamps per-stage wall times (setup / generate / run /
+verify) onto ``result.stages``.
 """
 
 from __future__ import annotations
@@ -13,20 +22,22 @@ import itertools
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.db.layouts import GSDRAMStore, StorageLayout
-from repro.db.schema import TableSchema
-from repro.db.table import OracleTable
+from repro.db.table import OracleTable, VecOracleTable
 from repro.db.workload import (
     AnalyticsQuery,
     HTAPWorkload,
-    Transaction,
     TransactionMix,
+    generate_transaction_arrays,
     generate_transactions,
     make_rows,
+    make_rows_array,
 )
 from repro.errors import ConfigError, WorkloadError
 from repro.sim.config import SystemConfig, plain_dram_config, table1_config
-from repro.sim.results import RunResult
+from repro.sim.results import RunResult, StageTimer
 from repro.sim.system import System
 from repro.vec.shim import component_snapshot
 
@@ -99,34 +110,55 @@ def run_transactions(
 ) -> TransactionRun:
     """Execute ``count`` transactions of one i-j-k mix on ``layout``."""
     schema = layout.schema
-    rows = make_rows(schema, num_tuples)
-    oracle = OracleTable(schema, rows)
-    txns = generate_transactions(schema, num_tuples, mix, count, seed)
-    expected_reads = oracle.apply_all(txns)
+    timer = StageTimer()
 
     if _vectorized(layout, mode):
         from repro.vec.db import fast_transactions
 
-        config = layout_config(layout, prefetch=prefetch,
-                               **(config_overrides or {}))
-        outcome = fast_transactions(layout, txns, rows, num_tuples, config)
-        verified = (
-            outcome.observed == expected_reads
-            and outcome.final_rows == oracle.rows
-        )
+        with timer.stage("generate"):
+            rows = make_rows_array(schema, num_tuples)
+            txns = generate_transaction_arrays(
+                schema, num_tuples, mix, count, seed
+            )
+        with timer.stage("setup"):
+            config = layout_config(layout, prefetch=prefetch,
+                                   **(config_overrides or {}))
+        with timer.stage("run"):
+            outcome = fast_transactions(layout, txns, rows, num_tuples,
+                                        config)
+        with timer.stage("verify"):
+            oracle = VecOracleTable(schema, rows)
+            expected_reads = oracle.apply_all(txns)
+            verified = bool(
+                np.array_equal(outcome.observed, expected_reads)
+                and np.array_equal(outcome.final_rows, oracle.rows)
+            )
+        timer.attach(outcome.result)
         return TransactionRun(layout.name, mix.label, outcome.result,
                               verified, outcome.component_stats)
 
-    system = system_for(layout, prefetch=prefetch, mode=mode,
-                        **(config_overrides or {}))
-    layout.attach(system, num_tuples)
-    layout.load_rows(rows)
+    with timer.stage("generate"):
+        rows = make_rows(schema, num_tuples)
+        txns = generate_transactions(schema, num_tuples, mix, count, seed)
+    with timer.stage("setup"):
+        system = system_for(layout, prefetch=prefetch, mode=mode,
+                            **(config_overrides or {}))
+        layout.attach(system, num_tuples)
+        layout.load_rows(rows)
 
     observed: list[int] = []
-    result = system.run([layout.transactions_program(txns, observed.append)])
+    with timer.stage("run"):
+        result = system.run(
+            [layout.transactions_program(txns, observed.append)]
+        )
     stats = component_snapshot(system)
 
-    verified = observed == expected_reads and layout.read_rows() == oracle.rows
+    with timer.stage("verify"):
+        oracle = OracleTable(schema, rows)
+        expected_reads = oracle.apply_all(txns)
+        verified = (observed == expected_reads
+                    and layout.read_rows() == oracle.rows)
+    timer.attach(result)
     return TransactionRun(layout.name, mix.label, result, verified, stats)
 
 
@@ -153,37 +185,49 @@ def run_analytics(
 ) -> AnalyticsRun:
     """Sum the queried columns on ``layout``."""
     schema = layout.schema
-    rows = make_rows(schema, num_tuples)
-    oracle = OracleTable(schema, rows)
-    expected = oracle.column_sum(query)
+    timer = StageTimer()
 
     if _vectorized(layout, mode):
         from repro.vec.db import fast_analytics
 
-        config = layout_config(layout, prefetch=prefetch,
-                               **(config_overrides or {}))
-        outcome = fast_analytics(layout, query, rows, num_tuples, config)
+        with timer.stage("generate"):
+            rows = make_rows_array(schema, num_tuples)
+        with timer.stage("setup"):
+            config = layout_config(layout, prefetch=prefetch,
+                                   **(config_overrides or {}))
+        with timer.stage("run"):
+            outcome = fast_analytics(layout, query, rows, num_tuples, config)
+        with timer.stage("verify"):
+            expected = VecOracleTable(schema, rows).column_sum(query)
+            verified = outcome.answer == expected
+        timer.attach(outcome.result)
         return AnalyticsRun(
             layout.name, query.label, prefetch, outcome.result,
-            outcome.answer, outcome.answer == expected,
-            outcome.component_stats,
+            outcome.answer, verified, outcome.component_stats,
         )
 
-    system = system_for(layout, prefetch=prefetch, mode=mode,
-                        **(config_overrides or {}))
-    layout.attach(system, num_tuples)
-    layout.load_rows(rows)
+    with timer.stage("generate"):
+        rows = make_rows(schema, num_tuples)
+    with timer.stage("setup"):
+        system = system_for(layout, prefetch=prefetch, mode=mode,
+                            **(config_overrides or {}))
+        layout.attach(system, num_tuples)
+        layout.load_rows(rows)
 
     total = [0]
 
     def add(value: int) -> None:
         total[0] += value
 
-    result = system.run([layout.analytics_ops(query, add)])
+    with timer.stage("run"):
+        result = system.run([layout.analytics_ops(query, add)])
     stats = component_snapshot(system)
+    with timer.stage("verify"):
+        expected = OracleTable(schema, rows).column_sum(query)
+        verified = total[0] == expected
+    timer.attach(result)
     return AnalyticsRun(
-        layout.name, query.label, prefetch, result, total[0],
-        total[0] == expected, stats,
+        layout.name, query.label, prefetch, result, total[0], verified, stats,
     )
 
 
@@ -243,12 +287,10 @@ def run_htap(
     """
     workload = workload or HTAPWorkload()
     schema = layout.schema
-    rows = make_rows(schema, num_tuples)
-    oracle = OracleTable(schema, rows)
 
     if txn_count is not None:
         return _run_htap_phased(
-            layout, workload, txn_count, rows, oracle, num_tuples,
+            layout, workload, txn_count, num_tuples,
             prefetch, cpu_ghz, config_overrides, mode,
         )
     if mode == "fast":
@@ -260,10 +302,14 @@ def run_htap(
     if mode != "event":
         raise ConfigError(f"unknown run mode {mode!r}")
 
-    system = system_for(layout, cores=2, prefetch=prefetch,
-                        **(config_overrides or {}))
-    layout.attach(system, num_tuples)
-    layout.load_rows(rows)
+    timer = StageTimer()
+    with timer.stage("generate"):
+        rows = make_rows(schema, num_tuples)
+    with timer.stage("setup"):
+        system = system_for(layout, cores=2, prefetch=prefetch,
+                            **(config_overrides or {}))
+        layout.attach(system, num_tuples)
+        layout.load_rows(rows)
 
     total = [0]
     committed = [0]
@@ -271,13 +317,15 @@ def run_htap(
     txn_stream = _endless_transactions(
         layout, workload.txn_mix, num_tuples, workload.txn_seed, committed
     )
-    result = system.run([analytics, txn_stream], stop_on_core=0)
+    with timer.stage("run"):
+        result = system.run([analytics, txn_stream], stop_on_core=0)
 
     analytics_cycles = system.cores[0].finish_time or result.cycles
     if analytics_cycles <= 0:
         raise WorkloadError("analytics thread did not run")
     seconds = analytics_cycles / (cpu_ghz * 1e9)
     throughput = committed[0] / seconds / 1e6
+    timer.attach(result)
     return HTAPRun(
         layout.name,
         prefetch,
@@ -293,8 +341,6 @@ def _run_htap_phased(
     layout: StorageLayout,
     workload: HTAPWorkload,
     txn_count: int,
-    rows: list[list[int]],
-    oracle: OracleTable,
     num_tuples: int,
     prefetch: bool,
     cpu_ghz: float,
@@ -305,39 +351,59 @@ def _run_htap_phased(
     schema = layout.schema
     count_a = (txn_count + 1) // 2
     count_b = txn_count - count_a
-    txns_a = generate_transactions(
-        schema, num_tuples, workload.txn_mix, count_a, seed=workload.txn_seed
-    )
-    txns_b = generate_transactions(
-        schema, num_tuples, workload.txn_mix, count_b,
-        seed=workload.txn_seed + 1,
-    )
-    oracle.apply_all(txns_a)
-    expected_mid = oracle.column_sum(workload.analytics)
-    oracle.apply_all(txns_b)
+    timer = StageTimer()
 
     if _vectorized(layout, mode):
         from repro.vec.db import fast_htap_phased
 
-        config = layout_config(layout, prefetch=prefetch,
-                               **(config_overrides or {}))
-        outcome = fast_htap_phased(
-            layout, txns_a, txns_b, workload.analytics, rows, num_tuples,
-            config,
-        )
-        verified = (
-            outcome.answer == expected_mid
-            and outcome.final_rows == oracle.rows
-        )
+        with timer.stage("generate"):
+            rows = make_rows_array(schema, num_tuples)
+            txns_a = generate_transaction_arrays(
+                schema, num_tuples, workload.txn_mix, count_a,
+                seed=workload.txn_seed,
+            )
+            txns_b = generate_transaction_arrays(
+                schema, num_tuples, workload.txn_mix, count_b,
+                seed=workload.txn_seed + 1,
+            )
+        with timer.stage("setup"):
+            config = layout_config(layout, prefetch=prefetch,
+                                   **(config_overrides or {}))
+        with timer.stage("run"):
+            outcome = fast_htap_phased(
+                layout, txns_a, txns_b, workload.analytics, rows, num_tuples,
+                config,
+            )
+        with timer.stage("verify"):
+            oracle = VecOracleTable(schema, rows)
+            oracle.apply_all(txns_a)
+            expected_mid = oracle.column_sum(workload.analytics)
+            oracle.apply_all(txns_b)
+            verified = bool(
+                outcome.answer == expected_mid
+                and np.array_equal(outcome.final_rows, oracle.rows)
+            )
+        timer.attach(outcome.result)
         return HTAPRun(
             layout.name, prefetch, 0, txn_count, 0.0, outcome.result,
             verified, outcome.answer, outcome.component_stats,
         )
 
-    system = system_for(layout, prefetch=prefetch, mode=mode,
-                        **(config_overrides or {}))
-    layout.attach(system, num_tuples)
-    layout.load_rows(rows)
+    with timer.stage("generate"):
+        rows = make_rows(schema, num_tuples)
+        txns_a = generate_transactions(
+            schema, num_tuples, workload.txn_mix, count_a,
+            seed=workload.txn_seed,
+        )
+        txns_b = generate_transactions(
+            schema, num_tuples, workload.txn_mix, count_b,
+            seed=workload.txn_seed + 1,
+        )
+    with timer.stage("setup"):
+        system = system_for(layout, prefetch=prefetch, mode=mode,
+                            **(config_overrides or {}))
+        layout.attach(system, num_tuples)
+        layout.load_rows(rows)
 
     total = [0]
 
@@ -350,15 +416,23 @@ def _run_htap_phased(
         for txn in txns_b:
             yield from layout.transaction_ops(txn)
 
-    result = system.run([program()])
+    with timer.stage("run"):
+        result = system.run([program()])
     stats = component_snapshot(system)
-    verified = total[0] == expected_mid and layout.read_rows() == oracle.rows
+    with timer.stage("verify"):
+        oracle = OracleTable(schema, rows)
+        oracle.apply_all(txns_a)
+        expected_mid = oracle.column_sum(workload.analytics)
+        oracle.apply_all(txns_b)
+        verified = (total[0] == expected_mid
+                    and layout.read_rows() == oracle.rows)
     analytics_cycles = result.cycles
     if analytics_cycles > 0:
         seconds = analytics_cycles / (cpu_ghz * 1e9)
         throughput = txn_count / seconds / 1e6
     else:
         throughput = 0.0
+    timer.attach(result)
     return HTAPRun(
         layout.name, prefetch, analytics_cycles, txn_count, throughput,
         result, verified, total[0], stats,

@@ -1,15 +1,31 @@
-"""Functional table oracle.
+"""Functional table oracles.
 
 The simulator moves real bytes; :class:`OracleTable` is the plain-
 Python ground truth the experiment drivers compare against. It applies
 the same workload specifications (transactions, column sums) directly
 to a list-of-lists, independent of any layout or timing model.
+
+:class:`VecOracleTable` is its columnar numpy twin (phase 3): the same
+semantics over an ``(num_tuples, num_fields)`` int64 array, with batch
+``apply_all`` and vectorized analytics, so oracle verification no
+longer dominates paper-scale fast-mode runs. The two implementations
+deliberately share **no** code with each other or with the fast
+engines in :mod:`repro.vec.db` — the scalar table stays the reference,
+the vectorized table uses sort/searchsorted algorithms, and the fast
+engine uses a running-max kernel, so agreement between any two is a
+real check, not an identity (see ``repro check oracles``).
 """
 
 from __future__ import annotations
 
+import hashlib
+
+import numpy as np
+
+from repro.db.queries import FilterQuery, FilterResult, GroupByQuery
 from repro.db.schema import TableSchema
-from repro.db.workload import AnalyticsQuery, Transaction
+from repro.db.workload import AnalyticsQuery, Transaction, TransactionArrays
+from repro.errors import WorkloadError
 
 
 class OracleTable:
@@ -52,3 +68,182 @@ class OracleTable:
     def snapshot(self) -> list[list[int]]:
         """Deep copy of the current contents."""
         return [list(row) for row in self.rows]
+
+
+def _exact_sum(values: np.ndarray) -> int:
+    """Sum an int64 array exactly, immune to int64 accumulator overflow.
+
+    Split each value into its high and low 32-bit halves (the identity
+    ``v == (v >> 32) << 32 | (v & 0xFFFFFFFF)`` holds for negatives
+    under arithmetic shift), sum the halves — each partial sum stays
+    far below 2**63 for any array under ~2**30 elements — and
+    recombine in Python's unbounded integers.
+    """
+    if values.size == 0:
+        return 0
+    hi = int((values >> np.int64(32)).sum(dtype=np.int64))
+    lo = int((values & np.int64(0xFFFFFFFF)).sum(dtype=np.int64))
+    return (hi << 32) + lo
+
+
+def table_digest(rows) -> str:
+    """Stable sha256 of table contents (list-of-lists or ndarray)."""
+    array = np.ascontiguousarray(np.asarray(rows, dtype=np.int64))
+    if array.size == 0:
+        # An empty list and a (0, num_fields) array are the same empty
+        # table; normalise so their digests agree.
+        array = array.reshape(0)
+    digest = hashlib.sha256()
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class VecOracleTable:
+    """Columnar ground truth: :class:`OracleTable` semantics in numpy.
+
+    Contents live in a writable ``(num_tuples, num_fields)`` int64
+    array (``self.data``); :meth:`apply_all` consumes a whole
+    transaction batch at once. Observed reads are resolved by sorting
+    the batch's writes by (cell, program position) and binary-searching
+    each read for the latest earlier write to its cell — an algorithm
+    with nothing in common with either the scalar oracle's sequential
+    replay or the fast engine's running-max kernel.
+    """
+
+    def __init__(self, schema: TableSchema, rows) -> None:
+        self.schema = schema
+        data = np.array(rows, dtype=np.int64)
+        if data.size == 0:
+            data = data.reshape(0, schema.num_fields)
+        if data.ndim != 2 or data.shape[1] != schema.num_fields:
+            raise WorkloadError(
+                f"rows shape {data.shape} does not match "
+                f"{schema.num_fields}-field schema"
+            )
+        self.data = data
+
+    @property
+    def num_tuples(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def rows(self) -> np.ndarray:
+        return self.data
+
+    def apply_all(self, txns) -> np.ndarray:
+        """Apply a transaction batch; returns observed reads as int64.
+
+        Accepts :class:`~repro.db.workload.TransactionArrays` (the
+        batch form) or a ``list[Transaction]`` (flattened here, for
+        tests and differential checks).
+        """
+        if isinstance(txns, TransactionArrays):
+            tuple_ids = txns.tuple_ids
+            fields = txns.fields
+            writes = txns.writes
+            values = txns.values
+        else:
+            flat = [
+                (txn.tuple_id, op.field, op.write, op.value)
+                for txn in txns
+                for op in txn.ops
+            ]
+            if not flat:
+                return np.empty(0, dtype=np.int64)
+            ids, flds, wrs, vals = zip(*flat)
+            tuple_ids = np.array(ids, dtype=np.int64)
+            fields = np.array(flds, dtype=np.int64)
+            writes = np.array(wrs, dtype=bool)
+            values = np.array(vals, dtype=np.int64)
+        if tuple_ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+
+        num_fields = self.schema.num_fields
+        cells = tuple_ids * num_fields + fields
+        positions = np.arange(cells.size, dtype=np.int64)
+
+        write_pos = positions[writes]
+        write_cells = cells[writes]
+        write_values = values[writes]
+        # Stable sort by cell keeps program order within each cell, so
+        # write runs are (cell, ascending position).
+        order = np.argsort(write_cells, kind="stable")
+        sorted_cells = write_cells[order]
+        sorted_pos = write_pos[order]
+        sorted_values = write_values[order]
+
+        read_mask = ~writes
+        read_cells = cells[read_mask]
+        read_pos = positions[read_mask]
+        observed = self.data.reshape(-1)[read_cells].copy()
+        if sorted_cells.size and read_cells.size:
+            # Encode (cell, position) as one sortable key; position is
+            # bounded by the batch length, so the encoding is exact.
+            span = np.int64(cells.size + 1)
+            write_keys = sorted_cells * span + sorted_pos
+            read_keys = read_cells * span + read_pos
+            prev = np.searchsorted(write_keys, read_keys, side="left") - 1
+            hit = (prev >= 0) & (sorted_cells[np.maximum(prev, 0)] == read_cells)
+            observed[hit] = sorted_values[prev[hit]]
+
+        if sorted_cells.size:
+            # Final state: the last write per cell is the last element
+            # of each run in the (cell, position)-sorted order.
+            last = np.flatnonzero(
+                np.append(sorted_cells[1:] != sorted_cells[:-1], True)
+            )
+            self.data.reshape(-1)[sorted_cells[last]] = sorted_values[last]
+        return observed
+
+    def column_sum(self, query: AnalyticsQuery) -> int:
+        """The analytics answer: exact sum of the queried columns."""
+        total = 0
+        for field in query.fields:
+            self.schema.validate_field(field)
+            total += _exact_sum(self.data[:, field])
+        return total
+
+    def filter(self, query: FilterQuery) -> FilterResult:
+        """Vectorized :func:`~repro.db.queries.oracle_filter` semantics."""
+        self.schema.validate_field(query.predicate_field)
+        predicate = self.data[:, query.predicate_field]
+        threshold = np.int64(query.threshold)
+        if query.op.value == "<":
+            mask = predicate < threshold
+        elif query.op.value == ">=":
+            mask = predicate >= threshold
+        else:
+            mask = predicate == threshold
+        matches = int(mask.sum())
+        if query.value_field is None:
+            return FilterResult(matches=matches, aggregate=matches)
+        self.schema.validate_field(query.value_field)
+        aggregate = _exact_sum(self.data[mask, query.value_field])
+        return FilterResult(matches=matches, aggregate=aggregate)
+
+    def groupby(self, query: GroupByQuery) -> dict[int, int]:
+        """Vectorized :func:`~repro.db.queries.oracle_groupby` semantics."""
+        self.schema.validate_field(query.key_field)
+        self.schema.validate_field(query.value_field)
+        keys = self.data[:, query.key_field]
+        values = self.data[:, query.value_field]
+        uniques, inverse = np.unique(keys, return_inverse=True)
+        # Exact grouped sums via the same hi/lo split as _exact_sum;
+        # np.add.at is unbuffered, so duplicate keys accumulate.
+        hi = np.zeros(uniques.size, dtype=np.int64)
+        lo = np.zeros(uniques.size, dtype=np.int64)
+        np.add.at(hi, inverse, values >> np.int64(32))
+        np.add.at(lo, inverse, values & np.int64(0xFFFFFFFF))
+        return {
+            int(key): (int(h) << 32) + int(l)
+            for key, h, l in zip(uniques.tolist(), hi.tolist(), lo.tolist())
+        }
+
+    def digest(self) -> str:
+        """Stable sha256 of the current contents."""
+        return table_digest(self.data)
+
+    def snapshot(self) -> list[list[int]]:
+        """Deep copy of the current contents, in scalar-oracle form."""
+        return self.data.tolist()

@@ -29,7 +29,7 @@ from repro.errors import ConfigError
 from repro.gemm.kernels import gs_ops, naive_ops, tiled_ops
 from repro.gemm.matrix import BlockedMatrix, DenseMatrix, random_matrix
 from repro.sim.config import plain_dram_config, table1_config
-from repro.sim.results import RunResult
+from repro.sim.results import RunResult, StageTimer
 from repro.sim.system import System
 from repro.vec.shim import component_snapshot
 
@@ -86,22 +86,28 @@ def run_naive(n: int, seed: int = 3, overrides: dict | None = None,
         from repro.vec.gemm import fast_naive
 
         return fast_naive(n, seed, overrides)
-    config = plain_dram_config(**(overrides or GEMM_CACHE_OVERRIDES))
-    system = System(config)
-    a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
-    a = DenseMatrix(system, n)
-    b = DenseMatrix(system, n)
-    c = DenseMatrix(system, n)
-    a.load(a_vals)
-    b.load(b_vals)
+    timer = StageTimer()
+    with timer.stage("generate"):
+        a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
+    with timer.stage("setup"):
+        config = plain_dram_config(**(overrides or GEMM_CACHE_OVERRIDES))
+        system = System(config)
+        a = DenseMatrix(system, n)
+        b = DenseMatrix(system, n)
+        c = DenseMatrix(system, n)
+        a.load(a_vals)
+        b.load(b_vals)
     result = np.zeros((n, n), dtype=np.int64)
-    run = system.run([naive_ops(a, b, c, result)])
+    with timer.stage("run"):
+        run = system.run([naive_ops(a, b, c, result)])
     # Snapshot before _verify: c.read() drains dirty lines and would
     # perturb the writeback/DBI counters the battery compares.
     stats = component_snapshot(system)
-    oracle = a_vals @ b_vals
-    return GemmRun("Non-tiled", n, None, run,
-                   _verify(system, c, result, oracle), stats)
+    with timer.stage("verify"):
+        oracle = a_vals @ b_vals
+        verified = _verify(system, c, result, oracle)
+    timer.attach(run)
+    return GemmRun("Non-tiled", n, None, run, verified, stats)
 
 
 def run_tiled(n: int, tile: int, seed: int = 3,
@@ -112,20 +118,26 @@ def run_tiled(n: int, tile: int, seed: int = 3,
         from repro.vec.gemm import fast_tiled
 
         return fast_tiled(n, tile, seed, overrides)
-    config = plain_dram_config(**(overrides or GEMM_CACHE_OVERRIDES))
-    system = System(config)
-    a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
-    a = DenseMatrix(system, n)
-    b = BlockedMatrix(system, n, gs=False)
-    c = DenseMatrix(system, n)
-    a.load(a_vals)
-    b.load(b_vals)
+    timer = StageTimer()
+    with timer.stage("generate"):
+        a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
+    with timer.stage("setup"):
+        config = plain_dram_config(**(overrides or GEMM_CACHE_OVERRIDES))
+        system = System(config)
+        a = DenseMatrix(system, n)
+        b = BlockedMatrix(system, n, gs=False)
+        c = DenseMatrix(system, n)
+        a.load(a_vals)
+        b.load(b_vals)
     result = np.zeros((n, n), dtype=np.int64)
-    run = system.run([tiled_ops(a, b, c, result, tile)])
+    with timer.stage("run"):
+        run = system.run([tiled_ops(a, b, c, result, tile)])
     stats = component_snapshot(system)
-    oracle = a_vals @ b_vals
-    return GemmRun("Tiled", n, tile, run,
-                   _verify(system, c, result, oracle), stats)
+    with timer.stage("verify"):
+        oracle = a_vals @ b_vals
+        verified = _verify(system, c, result, oracle)
+    timer.attach(run)
+    return GemmRun("Tiled", n, tile, run, verified, stats)
 
 
 def run_gs(n: int, tile: int, seed: int = 3,
@@ -136,20 +148,26 @@ def run_gs(n: int, tile: int, seed: int = 3,
         from repro.vec.gemm import fast_gs
 
         return fast_gs(n, tile, seed, overrides)
-    config = table1_config(**(overrides or GEMM_CACHE_OVERRIDES))
-    system = System(config)
-    a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
-    a = DenseMatrix(system, n)
-    b = BlockedMatrix(system, n, gs=True)
-    c = DenseMatrix(system, n)
-    a.load(a_vals)
-    b.load(b_vals)
+    timer = StageTimer()
+    with timer.stage("generate"):
+        a_vals, b_vals = random_matrix(n, seed), random_matrix(n, seed + 1)
+    with timer.stage("setup"):
+        config = table1_config(**(overrides or GEMM_CACHE_OVERRIDES))
+        system = System(config)
+        a = DenseMatrix(system, n)
+        b = BlockedMatrix(system, n, gs=True)
+        c = DenseMatrix(system, n)
+        a.load(a_vals)
+        b.load(b_vals)
     result = np.zeros((n, n), dtype=np.int64)
-    run = system.run([gs_ops(a, b, c, result, tile)])
+    with timer.stage("run"):
+        run = system.run([gs_ops(a, b, c, result, tile)])
     stats = component_snapshot(system)
-    oracle = a_vals @ b_vals
-    return GemmRun("GS-DRAM", n, tile, run,
-                   _verify(system, c, result, oracle), stats)
+    with timer.stage("verify"):
+        oracle = a_vals @ b_vals
+        verified = _verify(system, c, result, oracle)
+    timer.attach(run)
+    return GemmRun("GS-DRAM", n, tile, run, verified, stats)
 
 
 def best_tiled(n: int, tiles: tuple[int, ...] = DEFAULT_TILES, seed: int = 3,

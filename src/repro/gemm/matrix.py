@@ -101,30 +101,26 @@ class BlockedMatrix:
     def load(self, values: np.ndarray) -> None:
         if values.shape != (self.n, self.n):
             raise WorkloadError(f"expected {self.n}x{self.n}, got {values.shape}")
-        out = bytearray(self.n * self.n * ELEM)
         nb = self.blocks_per_side
-        for bi in range(nb):
-            for bj in range(nb):
-                block = values[bi * BLOCK : (bi + 1) * BLOCK,
-                               bj * BLOCK : (bj + 1) * BLOCK]
-                start = self._block_line(bi, bj) * BLOCK * ELEM
-                out[start : start + BLOCK * BLOCK * ELEM] = (
-                    block.astype("<i8").tobytes()
-                )
-        self.system.mem_write(self.base, bytes(out))
+        # (n, n) -> (nb, BLOCK, nb, BLOCK) -> block-major order: one
+        # reshape/transpose replaces the per-block copy loop.
+        blocked = (
+            values.reshape(nb, BLOCK, nb, BLOCK)
+            .transpose(0, 2, 1, 3)
+            .astype("<i8")
+        )
+        self.system.mem_write(self.base, blocked.tobytes())
 
     def read(self) -> np.ndarray:
         raw = self.system.mem_read(self.base, self.n * self.n * ELEM)
-        flat = np.frombuffer(raw, dtype="<i8")
-        result = np.empty((self.n, self.n), dtype="<i8")
         nb = self.blocks_per_side
-        for bi in range(nb):
-            for bj in range(nb):
-                start = self._block_line(bi, bj) * BLOCK
-                block = flat[start : start + BLOCK * BLOCK].reshape(BLOCK, BLOCK)
-                result[bi * BLOCK : (bi + 1) * BLOCK,
-                       bj * BLOCK : (bj + 1) * BLOCK] = block
-        return result
+        return (
+            np.frombuffer(raw, dtype="<i8")
+            .reshape(nb, nb, BLOCK, BLOCK)
+            .transpose(0, 2, 1, 3)
+            .reshape(self.n, self.n)
+            .copy()
+        )
 
 
 def random_matrix(n: int, seed: int, low: int = 0, high: int = 16) -> np.ndarray:

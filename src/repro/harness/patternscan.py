@@ -40,7 +40,7 @@ from repro.errors import ConfigError, WorkloadError
 from repro.obs.session import current_session
 from repro.perf.specs import RunSpec
 from repro.sim.config import SystemConfig, table1_config
-from repro.sim.results import RunResult
+from repro.sim.results import RunResult, StageTimer
 from repro.sim.system import System
 from repro.utils.bitops import is_power_of_two
 from repro.vec.kernels import decompose_addresses, gather_addresses_batch
@@ -133,19 +133,23 @@ def pattern_sweep_specs(
 def _run_event(
     variant: str, stride: int, lines: int, config_overrides: dict | None
 ) -> PatternScanRun:
-    config = _scan_config(config_overrides)
-    pattern = stride - 1
-    total_values = lines * 8
+    timer = StageTimer()
+    with timer.stage("setup"):
+        config = _scan_config(config_overrides)
+        pattern = stride - 1
+        total_values = lines * 8
 
-    system = System(config)
-    # The per-bank row profile is derived from the actual command
-    # stream, so the fast path's analytics are checked against commands
-    # the controller really issued, not a second model of them.
-    system.controller.trace_commands = True
-    base = system.pattmalloc(lines * 64, shuffle=True, pattern=pattern)
-    system.mem_write(
-        base, struct.pack(f"<{total_values}Q", *range(total_values))
-    )
+        system = System(config)
+        # The per-bank row profile is derived from the actual command
+        # stream, so the fast path's analytics are checked against
+        # commands the controller really issued, not a second model of
+        # them.
+        system.controller.trace_commands = True
+        base = system.pattmalloc(lines * 64, shuffle=True, pattern=pattern)
+    with timer.stage("generate"):
+        system.mem_write(
+            base, struct.pack(f"<{total_values}Q", *range(total_values))
+        )
 
     chunks: list[bytes] = []
     k = stride.bit_length() - 1
@@ -169,10 +173,13 @@ def _run_event(
                 yield Compute(1)
 
     ops = scalar_ops() if variant == "scalar" else gathered_ops()
-    result = system.run([ops])
+    with timer.stage("run"):
+        result = system.run([ops])
 
-    answer = sum(struct.unpack("<Q", chunk)[0] for chunk in chunks)
-    expected = sum(range(0, total_values, stride))
+    with timer.stage("verify"):
+        answer = sum(struct.unpack("<Q", chunk)[0] for chunk in chunks)
+        expected = sum(range(0, total_values, stride))
+    timer.attach(result)
     return PatternScanRun(
         variant=variant,
         stride=stride,
@@ -228,90 +235,95 @@ def _profile_from_commands(command_trace) -> dict:
 def _run_fast(
     variant: str, stride: int, lines: int, config_overrides: dict | None
 ) -> PatternScanRun:
-    config = _scan_config(config_overrides)
-    geometry = config.geometry
-    line_bytes = geometry.chips * geometry.column_bytes
-    pattern = stride - 1
-    total_values = lines * 8
+    timer = StageTimer()
+    with timer.stage("setup"):
+        config = _scan_config(config_overrides)
+        geometry = config.geometry
+        line_bytes = geometry.chips * geometry.column_bytes
+        pattern = stride - 1
+        total_values = lines * 8
 
-    # Identical physical placement: the same bump allocator the System
-    # uses, so base addresses (and therefore bank/row coordinates) match
-    # the event run byte for byte.
-    allocator = PattAllocator(
-        capacity_bytes=geometry.capacity_bytes,
-        line_bytes=line_bytes,
-        row_bytes=geometry.row_bytes,
-    )
-    base = allocator.pattmalloc(lines * 64, shuffle=True, pattern=pattern)
-    payload = np.arange(total_values, dtype=np.int64)
+        # Identical physical placement: the same bump allocator the
+        # System uses, so base addresses (and therefore bank/row
+        # coordinates) match the event run byte for byte.
+        allocator = PattAllocator(
+            capacity_bytes=geometry.capacity_bytes,
+            line_bytes=line_bytes,
+            row_bytes=geometry.row_bytes,
+        )
+        base = allocator.pattmalloc(lines * 64, shuffle=True, pattern=pattern)
+    with timer.stage("generate"):
+        payload = np.arange(total_values, dtype=np.int64)
 
-    if variant == "scalar":
-        value_indices = np.arange(0, total_values, stride, dtype=np.int64)
-        addresses = base + value_indices * 8
-        line_addresses = addresses & ~np.int64(line_bytes - 1)
-        patterns = np.zeros_like(line_addresses)
-        values = payload[value_indices]
-    else:
-        gathers = total_values // (stride * 8)
-        columns = np.arange(gathers, dtype=np.int64) * stride
-        gathered_lines = base + columns * line_bytes
-        slots = gather_addresses_batch(
-            gathered_lines,
-            np.full(gathers, pattern, dtype=np.int64),
-            chips=geometry.chips,
+    with timer.stage("run"):
+        if variant == "scalar":
+            value_indices = np.arange(0, total_values, stride, dtype=np.int64)
+            addresses = base + value_indices * 8
+            line_addresses = addresses & ~np.int64(line_bytes - 1)
+            patterns = np.zeros_like(line_addresses)
+            values = payload[value_indices]
+        else:
+            gathers = total_values // (stride * 8)
+            columns = np.arange(gathers, dtype=np.int64) * stride
+            gathered_lines = base + columns * line_bytes
+            slots = gather_addresses_batch(
+                gathered_lines,
+                np.full(gathers, pattern, dtype=np.int64),
+                chips=geometry.chips,
+                banks=geometry.banks,
+                rows_per_bank=geometry.rows_per_bank,
+                columns_per_row=geometry.columns_per_row,
+                column_bytes=geometry.column_bytes,
+                shuffle_stages=config.shuffle_stages,
+                pattern_bits=config.pattern_bits,
+                bank_interleaved=False,
+            )
+            source_indices = slots - base
+            if source_indices.size and (
+                int(source_indices.min()) < 0
+                or int(source_indices.max()) >= total_values * 8
+                or (source_indices % 8).any()
+            ):
+                raise WorkloadError(
+                    "gathered value addresses escaped the allocation"
+                )
+            values = payload[source_indices // 8].reshape(-1)
+            line_addresses = np.repeat(gathered_lines, geometry.chips)
+            patterns = np.full_like(line_addresses, pattern)
+
+        # Cache behaviour: consecutive same-line accesses are guaranteed
+        # MRU L1 hits (dropped, counted as hits); the rest replay
+        # through the two-level LRU arrays.
+        trace = AccessTrace(line_addresses, patterns)
+        keep = dedupe_consecutive(trace)
+        kept = AccessTrace(line_addresses[keep], patterns[keep])
+        l1 = ReplayCache(config.l1_size, config.l1_assoc, line_bytes)
+        l2 = ReplayCache(config.l2_size, config.l2_assoc, line_bytes)
+        l1_hit_mask, l2_hit_mask = replay_two_level(kept, l1, l2)
+
+        accesses = len(trace)
+        deduped_hits = int((~keep).sum())
+        l1_hits = deduped_hits + int(l1_hit_mask.sum())
+        l1_misses = accesses - l1_hits
+        l2_hits = int(l2_hit_mask.sum())
+        l2_misses = l1_misses - l2_hits
+
+        # DRAM read stream (service order == program order) -> locality.
+        dram_lines = kept.line_addresses[~l1_hit_mask & ~l2_hit_mask]
+        coords = decompose_addresses(
+            dram_lines,
             banks=geometry.banks,
             rows_per_bank=geometry.rows_per_bank,
             columns_per_row=geometry.columns_per_row,
-            column_bytes=geometry.column_bytes,
-            shuffle_stages=config.shuffle_stages,
-            pattern_bits=config.pattern_bits,
-            bank_interleaved=False,
+            line_bytes=line_bytes,
+            policy=config.mapping_policy,
         )
-        source_indices = slots - base
-        if source_indices.size and (
-            int(source_indices.min()) < 0
-            or int(source_indices.max()) >= total_values * 8
-            or (source_indices % 8).any()
-        ):
-            raise WorkloadError(
-                "gathered value addresses escaped the allocation"
-            )
-        values = payload[source_indices // 8].reshape(-1)
-        line_addresses = np.repeat(gathered_lines, geometry.chips)
-        patterns = np.full_like(line_addresses, pattern)
+        profile = row_locality(coords["bank"], coords["row"])
 
-    # Cache behaviour: consecutive same-line accesses are guaranteed MRU
-    # L1 hits (dropped, counted as hits); the rest replay through the
-    # two-level LRU arrays.
-    trace = AccessTrace(line_addresses, patterns)
-    keep = dedupe_consecutive(trace)
-    kept = AccessTrace(line_addresses[keep], patterns[keep])
-    l1 = ReplayCache(config.l1_size, config.l1_assoc, line_bytes)
-    l2 = ReplayCache(config.l2_size, config.l2_assoc, line_bytes)
-    l1_hit_mask, l2_hit_mask = replay_two_level(kept, l1, l2)
-
-    accesses = len(trace)
-    deduped_hits = int((~keep).sum())
-    l1_hits = deduped_hits + int(l1_hit_mask.sum())
-    l1_misses = accesses - l1_hits
-    l2_hits = int(l2_hit_mask.sum())
-    l2_misses = l1_misses - l2_hits
-
-    # DRAM read stream (in service order == program order) -> locality.
-    dram_lines = kept.line_addresses[~l1_hit_mask & ~l2_hit_mask]
-    coords = decompose_addresses(
-        dram_lines,
-        banks=geometry.banks,
-        rows_per_bank=geometry.rows_per_bank,
-        columns_per_row=geometry.columns_per_row,
-        line_bytes=line_bytes,
-        policy=config.mapping_policy,
-    )
-    profile = row_locality(coords["bank"], coords["row"])
-
-    answer = int(values.sum())
-    expected = sum(range(0, total_values, stride))
-    digest = hashlib.sha256(values.astype("<u8").tobytes()).hexdigest()
+    with timer.stage("verify"):
+        answer = int(values.sum())
+        expected = sum(range(0, total_values, stride))
+        digest = hashlib.sha256(values.astype("<u8").tobytes()).hexdigest()
 
     energy = system_energy(
         runtime_cycles=0,
@@ -355,6 +367,7 @@ def _run_fast(
         },
     )
 
+    timer.attach(result)
     session = current_session()
     if session is not None:
         session.attach(

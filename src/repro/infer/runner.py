@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError, WorkloadError
 from repro.infer.generators import PREPARERS, VARIANTS, WORKLOADS
 from repro.sim.config import plain_dram_config, table1_config
-from repro.sim.results import RunResult
+from repro.sim.results import RunResult, StageTimer
 from repro.sim.system import System
 from repro.trace.format import TraceRecord, record_ops, replay_ops
 from repro.vec.shim import component_snapshot
@@ -102,17 +102,25 @@ def run_infer(
     Pass ``record_to`` to tee the op stream into a trace (the list is
     filled as the core consumes ops).
     """
-    system = _build_system(variant, mode, config_overrides)
-    prepared = _prepare(system, workload, variant, params)
+    timer = StageTimer()
+    with timer.stage("setup"):
+        system = _build_system(variant, mode, config_overrides)
+    with timer.stage("generate"):
+        prepared = _prepare(system, workload, variant, params)
     ops = prepared.ops()
     if record_to is not None:
         ops = record_ops(ops, 0, record_to)
-    result = system.run([ops])
+    with timer.stage("run"):
+        result = system.run([ops])
     # Snapshot before finalize: reading memory back drains dirty lines,
     # which would perturb the writeback/DBI counters the battery diffs.
     stats = component_snapshot(system)
-    verified, answer = prepared.finalize()
-    memory_digest = hashlib.sha256(prepared.read_image(system)).hexdigest()
+    with timer.stage("verify"):
+        verified, answer = prepared.finalize()
+        memory_digest = hashlib.sha256(
+            prepared.read_image(system)
+        ).hexdigest()
+    timer.attach(result)
     return InferRun(
         workload=workload, variant=variant, mode=mode,
         params=dict(prepared.params), result=result, verified=verified,
@@ -141,18 +149,24 @@ def replay_infer(
     check layer additionally diffs result stats against the generated
     twin.
     """
-    system = _build_system(variant, mode, config_overrides)
-    prepared = _prepare(system, workload, variant, params)
+    timer = StageTimer()
+    with timer.stage("setup"):
+        system = _build_system(variant, mode, config_overrides)
+    with timer.stage("generate"):
+        prepared = _prepare(system, workload, variant, params)
     if any(record.core != 0 for record in records):
         raise WorkloadError(
             "inference replay expects a single-core trace",
             cores=sorted({r.core for r in records}),
         )
-    result = system.run([replay_ops(records, core=0)])
+    with timer.stage("run"):
+        result = system.run([replay_ops(records, core=0)])
     stats = component_snapshot(system)
-    image = prepared.read_image(system)
-    expected = prepared.expected_image()
-    memory_digest = hashlib.sha256(image).hexdigest()
+    with timer.stage("verify"):
+        image = prepared.read_image(system)
+        expected = prepared.expected_image()
+        memory_digest = hashlib.sha256(image).hexdigest()
+    timer.attach(result)
     return InferRun(
         workload=workload, variant=variant, mode=mode,
         params=dict(prepared.params), result=result,

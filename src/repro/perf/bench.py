@@ -17,12 +17,15 @@ wall-clock is not comparable across hosts); set
 
 from __future__ import annotations
 
+import cProfile
 import dataclasses
 import datetime
+import io
 import json
 import os
 import pathlib
 import platform
+import pstats
 import socket
 import tempfile
 import time
@@ -42,6 +45,8 @@ SWEEP_LINES = 1024
 #: dominate worker startup for the sharding ratio to mean anything).
 CLUSTER_SWEEP_LINES = 8192
 CLUSTER_SWEEP_STRIDES = (2, 4, 8)
+#: Functions shown per case in the ``--profile`` dump.
+PROFILE_TOP_N = 25
 
 
 @dataclass
@@ -53,6 +58,70 @@ class BenchCase:
     func: Callable[[], Any] | None = None
 
 
+def _genverify_workload(vectorized: bool) -> Callable[[], Any]:
+    """Generation + oracle-verification twin, scalar or vectorized.
+
+    The two cases run the *same* figure-9-style workload (full-scale
+    tuple table, full-scale transaction batch, observed-read oracle,
+    final-state digest) through the scalar :class:`OracleTable` path
+    and the columnar :class:`VecOracleTable` path. No simulator is
+    involved, so the wall-clock ratio isolates exactly the
+    generation+verify speedup the vectorization phase claims; equal
+    digests double-check the twins computed the same thing. The
+    workload shape is pinned to the ``full`` scale regardless of the
+    bench's ``--scale`` so recorded speedups stay comparable.
+    """
+
+    def run() -> dict[str, Any]:
+        from repro.db.schema import TableSchema
+        from repro.db.table import OracleTable, VecOracleTable, table_digest
+        from repro.db.workload import (
+            FIGURE9_MIXES,
+            clear_workload_caches,
+            generate_transaction_arrays,
+            generate_transactions,
+            make_rows,
+            make_rows_array,
+        )
+        from repro.harness.common import get_scale
+        from repro.sim.results import StageTimer
+
+        scale = get_scale("full")
+        schema = TableSchema()
+        mix = FIGURE9_MIXES[7]  # 4-2-2: reads, writes, and read-modify
+        clear_workload_caches()  # cold timing must include row generation
+        timer = StageTimer()
+        if vectorized:
+            with timer.stage("generate"):
+                rows = make_rows_array(schema, scale.db_tuples)
+                txns = generate_transaction_arrays(
+                    schema, scale.db_tuples, mix, scale.db_transactions
+                )
+            with timer.stage("verify"):
+                table = VecOracleTable(schema, rows)
+                observed = table.apply_all(txns)
+                digest = table.digest()
+            observed_count = int(observed.size)
+        else:
+            with timer.stage("generate"):
+                rows = make_rows(schema, scale.db_tuples)
+                txns = generate_transactions(
+                    schema, scale.db_tuples, mix, scale.db_transactions
+                )
+            with timer.stage("verify"):
+                table = OracleTable(schema, rows)
+                observed = table.apply_all(txns)
+                digest = table_digest(table.rows)
+            observed_count = len(observed)
+        return {
+            "digest": digest,
+            "observed": observed_count,
+            "stages": dict(timer.stages),
+        }
+
+    return run
+
+
 def bench_cases(scale) -> list[BenchCase]:
     """The bench suite: one representative case per figure family.
 
@@ -61,6 +130,12 @@ def bench_cases(scale) -> list[BenchCase]:
     snapshots rather than any bench-private bookkeeping. Registry
     observation is a handful of dict inserts per run, so the timing
     stays honest.
+
+    At ``scale=paper`` the event-mode figure cases are dropped: the
+    paper-scale workloads exist *because* of the vectorized path, and
+    an event twin would run for hours. The fixed-size sweep pair and
+    the genverify pair still run, so the fast-path and
+    generation-speedup blocks stay populated.
     """
     from repro.harness.fig7_patterns import render_figure7
     from repro.harness.patternscan import pattern_sweep_specs
@@ -73,17 +148,19 @@ def bench_cases(scale) -> list[BenchCase]:
         "fig13": "fig13-gemm",
         "infer": "infer-gather",
     }
+    fast_only = scale.name == "paper"
     cases = [BenchCase("fig7-patterns", func=render_figure7)]
     for figure in SPEC_FIGURES:
-        cases.append(
-            BenchCase(
-                case_names[figure],
-                specs=[
-                    dataclasses.replace(spec, obs="metrics")
-                    for spec in figure_specs(figure, scale)
-                ],
+        if not fast_only:
+            cases.append(
+                BenchCase(
+                    case_names[figure],
+                    specs=[
+                        dataclasses.replace(spec, obs="metrics")
+                        for spec in figure_specs(figure, scale)
+                    ],
+                )
             )
-        )
         # The same figure on the vectorized engine: the wall-clock
         # ratio against the event twin above is the per-figure
         # fast-path speedup recorded in the "fastpath" block.
@@ -96,6 +173,15 @@ def bench_cases(scale) -> list[BenchCase]:
                 ],
             )
         )
+    # Scalar-vs-columnar oracle twins (no simulator): the recorded
+    # generation+verify speedup. Names must not end in "-fast" — that
+    # suffix pairs event/fast *figure* cases into the fastpath block.
+    cases.append(
+        BenchCase("genverify-scalar", func=_genverify_workload(False))
+    )
+    cases.append(
+        BenchCase("genverify-vec", func=_genverify_workload(True))
+    )
     # The same strided sweep on both substrates: the wall-clock ratio is
     # the recorded fast-path speedup (see docs/PERFORMANCE.md), and the
     # equivalence of the two results is asserted by repro.check.fastpath.
@@ -122,6 +208,15 @@ def _run_results(records: list[Any]):
         result = getattr(record, "result", None)
         if result is not None and hasattr(result, "cycles"):
             yield result
+
+
+def _stage_totals(records: list[Any]) -> dict[str, float]:
+    """Summed per-stage wall time across a case's RunResults."""
+    totals: dict[str, float] = {}
+    for result in _run_results(records):
+        for name, seconds in getattr(result, "stages", {}).items():
+            totals[name] = totals.get(name, 0.0) + seconds
+    return totals
 
 
 def _attribution(records: list[Any]) -> dict[str, Any]:
@@ -280,12 +375,20 @@ def run_bench(
     cache_dir: str | os.PathLike | None = None,
     check_regression: bool = True,
     write: bool = True,
+    profile: bool = False,
 ) -> tuple[dict, int]:
-    """Run the bench suite; returns (payload, exit_code)."""
+    """Run the bench suite; returns (payload, exit_code).
+
+    ``profile=True`` wraps each case's cold pass in ``cProfile`` and
+    writes the per-case top-``PROFILE_TOP_N`` cumulative functions to a
+    ``PROFILE_<stamp>.txt`` next to the BENCH json. Profiling forces
+    ``jobs=1`` — the profiler only sees this process, so pool workers
+    would silently vanish from the attribution.
+    """
     from repro.harness.common import scale_by_name
 
     scale = scale_by_name(scale_name)
-    jobs = resolve_jobs(jobs)
+    jobs = 1 if profile else resolve_jobs(jobs)
     results_dir = pathlib.Path(results_dir)
 
     # A fresh cache per bench run: the cold pass measures real
@@ -300,24 +403,43 @@ def run_bench(
     total_wall = 0.0
     total_events = 0.0
     infer_records: dict[str, list[Any]] = {}
+    profiles: dict[str, str] = {}
     try:
         for case in bench_cases(scale):
+            profiler = cProfile.Profile() if profile else None
+            if profiler is not None:
+                profiler.enable()
             if case.func is not None:
                 start = time.perf_counter()
                 value = case.func()
                 cold_wall = time.perf_counter() - start
+                if profiler is not None:
+                    profiler.disable()
                 cache.put(f"bench-figure:{case.name}", value)
                 start = time.perf_counter()
                 cache.get(f"bench-figure:{case.name}")
                 warm_wall = time.perf_counter() - start
                 records: list[Any] = []
+                # Callable cases can self-report stage timings by
+                # returning a dict with a "stages" entry.
+                stages = (dict(value["stages"])
+                          if isinstance(value, dict) and "stages" in value
+                          else {})
             else:
                 start = time.perf_counter()
                 records = run_specs(case.specs, jobs=jobs, cache=cache)
                 cold_wall = time.perf_counter() - start
+                if profiler is not None:
+                    profiler.disable()
                 start = time.perf_counter()
                 run_specs(case.specs, jobs=jobs, cache=cache)
                 warm_wall = time.perf_counter() - start
+                stages = _stage_totals(records)
+            if profiler is not None:
+                buffer = io.StringIO()
+                stats = pstats.Stats(profiler, stream=buffer)
+                stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+                profiles[case.name] = buffer.getvalue()
             if case.name == "infer-gather":
                 infer_records["event"] = records
             elif case.name == "infer-gather-fast":
@@ -335,6 +457,7 @@ def run_bench(
                     "warm_speedup": cold_wall / warm_wall if warm_wall else None,
                     "events": events,
                     "events_per_s": events / cold_wall if cold_wall else 0.0,
+                    "stages": stages,
                     "attribution": attribution,
                 }
             )
@@ -371,6 +494,22 @@ def run_bench(
     if infer_block is not None and "infer-gather" in figure_speedups:
         infer_block["fast_speedup"] = figure_speedups["infer-gather"]["speedup"]
 
+    genverify = None
+    if "genverify-scalar" in by_name and "genverify-vec" in by_name:
+        scalar_wall = by_name["genverify-scalar"]["wall_s"]
+        vec_wall = by_name["genverify-vec"]["wall_s"]
+        genverify = {
+            "scale": "full",
+            "scalar_wall_s": scalar_wall,
+            "vec_wall_s": vec_wall,
+            "speedup": scalar_wall / vec_wall if vec_wall else None,
+        }
+
+    stage_totals: dict[str, float] = {}
+    for case in cases_out:
+        for name, seconds in case["stages"].items():
+            stage_totals[name] = stage_totals.get(name, 0.0) + seconds
+
     payload = {
         "schema": 2,  # 2: attribution sourced from the metrics registry
         "timestamp": datetime.datetime.now().isoformat(timespec="seconds"),
@@ -380,7 +519,9 @@ def run_bench(
         "code_version": code_version(),
         "cases": cases_out,
         "fastpath": fastpath,
+        "genverify": genverify,
         "infer": infer_block,
+        "stages": stage_totals,
         "cache": dict(cache.stats, hit_rate=cache.hit_rate),
         "totals": {
             "wall_s": total_wall,
@@ -410,6 +551,16 @@ def run_bench(
         out_path = results_dir / f"BENCH_{stamp}.json"
         out_path.write_text(json.dumps(payload, indent=2) + "\n")
         payload["output_file"] = str(out_path)
+        if profiles:
+            profile_path = results_dir / f"PROFILE_{stamp}.txt"
+            sections = [
+                f"==== {name} ====\n{text}"
+                for name, text in profiles.items()
+            ]
+            profile_path.write_text("\n".join(sections))
+            payload["profile_file"] = str(profile_path)
+    elif profiles:
+        payload["profiles"] = profiles
 
     return payload, exit_code
 
@@ -573,6 +724,21 @@ def render_summary(payload: dict) -> str:
         f"{totals['events_per_s']:,.0f} events/s, "
         f"cache hit rate {payload['cache']['hit_rate']:.0%}"
     )
+    stage_totals = payload.get("stages") or {}
+    if stage_totals:
+        breakdown = "  ".join(
+            f"{name}={seconds:.3f}s"
+            for name, seconds in sorted(stage_totals.items())
+        )
+        lines.append(f"  stages: {breakdown}")
+    genverify = payload.get("genverify")
+    if genverify and genverify.get("speedup"):
+        lines.append(
+            f"  genverify (scale={genverify['scale']}): "
+            f"{genverify['speedup']:.1f}x vectorized "
+            f"({genverify['scalar_wall_s']:.3f}s -> "
+            f"{genverify['vec_wall_s']:.3f}s)"
+        )
     fastpath = payload.get("fastpath")
     if fastpath and fastpath.get("speedup"):
         lines.append(
@@ -614,4 +780,6 @@ def render_summary(payload: dict) -> str:
             lines.append(f"  baseline comparison: {status}")
     if "output_file" in payload:
         lines.append(f"  wrote {payload['output_file']}")
+    if "profile_file" in payload:
+        lines.append(f"  wrote {payload['profile_file']}")
     return "\n".join(lines)

@@ -105,8 +105,34 @@ def spec_from_wire(payload: Any) -> RunSpec:
 # ----------------------------------------------------------------------
 # Run records <-> wire
 # ----------------------------------------------------------------------
+def _scrub_wall_times(record: Any, _depth: int = 0) -> None:
+    """Empty every ``stages`` wall-time dict reachable from ``record``.
+
+    ``RunResult.stages`` carries host wall-clock attribution, which is
+    the one nondeterministic field a deterministic spec produces — two
+    independent executions would digest differently. The scrub runs on
+    the *loaded copy* inside :func:`_normalized_pickle` (never on the
+    caller's record, which keeps its timings), so digests cover exactly
+    the functional object graph.
+    """
+    if _depth > 8:
+        return
+    stages = getattr(record, "stages", None)
+    if isinstance(stages, dict):
+        stages.clear()
+    if dataclasses.is_dataclass(record) and not isinstance(record, type):
+        for spec_field in dataclasses.fields(record):
+            _scrub_wall_times(getattr(record, spec_field.name), _depth + 1)
+    elif isinstance(record, dict):
+        for value in record.values():
+            _scrub_wall_times(value, _depth + 1)
+    elif isinstance(record, (list, tuple)):
+        for value in record:
+            _scrub_wall_times(value, _depth + 1)
+
+
 def _normalized_pickle(record: Any) -> bytes:
-    """A canonical pickle of ``record``: dump, load, dump again.
+    """A canonical pickle of ``record``: dump, load, scrub, dump again.
 
     A raw ``pickle.dumps`` is *not* canonical across equal object
     graphs: CPython interns identifier-like strings at construction
@@ -116,10 +142,14 @@ def _normalized_pickle(record: Any) -> bytes:
     One round trip collapses every graph to the sharing structure the
     unpickler itself produces, which is a fixed point: further round
     trips are byte-identical, and two independent executions of a
-    deterministic spec normalise to the same bytes.
+    deterministic spec normalise to the same bytes. The loaded copy
+    additionally has wall-time ``stages`` dicts emptied
+    (:func:`_scrub_wall_times`) so host timing never enters a digest.
     """
     raw = pickle.dumps(record, protocol=WIRE_PICKLE_PROTOCOL)
-    return pickle.dumps(pickle.loads(raw), protocol=WIRE_PICKLE_PROTOCOL)
+    loaded = pickle.loads(raw)
+    _scrub_wall_times(loaded)
+    return pickle.dumps(loaded, protocol=WIRE_PICKLE_PROTOCOL)
 
 
 def result_digest(record: Any) -> str:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.energy.model import EnergyBreakdown
@@ -29,6 +31,13 @@ class RunResult:
     writebacks: int
     energy: EnergyBreakdown
     extra: dict[str, float] = field(default_factory=dict)
+    #: Host wall-time attribution (setup / generate / run / verify
+    #: seconds) recorded by the experiment drivers. Deliberately NOT
+    #: part of :meth:`to_dict` (fast-mode goldens compare dicts
+    #: exactly), excluded from equality (two seeded runs are the same
+    #: result even though their wall times differ), and scrubbed from
+    #: serve digests (see ``repro.serve.protocol``).
+    stages: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def l1_hit_rate(self) -> float:
@@ -80,3 +89,34 @@ class RunResult:
             f"(row-hit {self.row_hit_rate:.1%}), "
             f"energy={self.energy.total_mj:.3f} mJ"
         )
+
+
+#: Canonical stage names, in pipeline order.
+STAGE_NAMES = ("setup", "generate", "run", "verify")
+
+
+class StageTimer:
+    """Wall-time attribution for one driver invocation.
+
+    Drivers wrap each pipeline section in :meth:`stage` and call
+    :meth:`attach` on the finished :class:`RunResult`; the bench
+    surfaces the totals as the payload's ``stages`` block. Repeated
+    sections (a verify split around a run, say) accumulate.
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    def attach(self, result: RunResult) -> RunResult:
+        for name, seconds in self.stages.items():
+            result.stages[name] = result.stages.get(name, 0.0) + seconds
+        return result

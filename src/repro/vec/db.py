@@ -40,7 +40,7 @@ from repro.db.layouts import (
     RowStore,
     StorageLayout,
 )
-from repro.db.workload import AnalyticsQuery, Transaction
+from repro.db.workload import AnalyticsQuery, Transaction, TransactionArrays
 from repro.dram.address import MappingPolicy
 from repro.errors import WorkloadError
 from repro.obs.session import current_session
@@ -61,12 +61,18 @@ def fast_layout_supported(layout: StorageLayout) -> bool:
 
 @dataclass
 class FastDbOutcome:
-    """What a vectorized DB driver hands back to the engine dispatch."""
+    """What a vectorized DB driver hands back to the engine dispatch.
+
+    ``observed`` and ``final_rows`` are int64 ndarrays (phase 3): the
+    engine verifies them against the vectorized oracle with
+    ``np.array_equal``, so nothing is ever materialized to Python
+    lists on the fast path.
+    """
 
     result: RunResult
     component_stats: dict
-    observed: list[int] | None = None
-    final_rows: list[list[int]] | None = None
+    observed: np.ndarray | None = None
+    final_rows: np.ndarray | None = None
     answer: int | None = None
 
 
@@ -156,28 +162,44 @@ class _FastTable:
         return patterns, alts, shuffled
 
 
-def _flatten_transactions(table: _FastTable, txns: list[Transaction]):
-    """(tuple_ids, fields, writes, values) arrays, in program order."""
+def _flatten_transactions(table: _FastTable, txns):
+    """(tuple_ids, fields, writes, values) arrays, in program order.
+
+    Accepts :class:`~repro.db.workload.TransactionArrays` (already
+    flat; validated in batch) or a ``list[Transaction]``.
+    """
     schema = table.schema
     num_tuples = table.num_tuples
-    tuple_ids: list[int] = []
-    fields: list[int] = []
-    writes: list[bool] = []
-    values: list[int] = []
+    if isinstance(txns, TransactionArrays):
+        tuple_ids = txns.tuple_ids
+        fields = txns.fields
+        if tuple_ids.size and not (
+            0 <= int(tuple_ids.min()) and int(tuple_ids.max()) < num_tuples
+        ):
+            raise WorkloadError("tuple id out of range")
+        if fields.size and not (
+            0 <= int(fields.min()) and int(fields.max()) < schema.num_fields
+        ):
+            raise WorkloadError("field out of range")
+        return tuple_ids, fields, txns.writes, txns.values
+    tuple_id_list: list[int] = []
+    field_list: list[int] = []
+    write_list: list[bool] = []
+    value_list: list[int] = []
     for txn in txns:
         if not 0 <= txn.tuple_id < num_tuples:
             raise WorkloadError(f"tuple {txn.tuple_id} out of range")
         for op in txn.ops:
             schema.validate_field(op.field)
-            tuple_ids.append(txn.tuple_id)
-            fields.append(op.field)
-            writes.append(op.write)
-            values.append(op.value)
+            tuple_id_list.append(txn.tuple_id)
+            field_list.append(op.field)
+            write_list.append(op.write)
+            value_list.append(op.value)
     return (
-        np.array(tuple_ids, dtype=np.int64),
-        np.array(fields, dtype=np.int64),
-        np.array(writes, dtype=bool),
-        np.array(values, dtype=np.int64),
+        np.array(tuple_id_list, dtype=np.int64),
+        np.array(field_list, dtype=np.int64),
+        np.array(write_list, dtype=bool),
+        np.array(value_list, dtype=np.int64),
     )
 
 
@@ -223,7 +245,7 @@ def _last_write_wins(
     return observed, final_flat
 
 
-def _transaction_stream(table: _FastTable, txns: list[Transaction]):
+def _transaction_stream(table: _FastTable, txns):
     """Access stream + functional outcome of a transaction batch."""
     tuple_ids, fields, writes, values = _flatten_transactions(table, txns)
     addresses = table.field_addresses(tuple_ids, fields)
@@ -346,8 +368,8 @@ def _attach_session(config: SystemConfig, replay: DirtyReplay,
 
 def fast_transactions(
     layout: StorageLayout,
-    txns: list[Transaction],
-    rows: list[list[int]],
+    txns: TransactionArrays | list[Transaction],
+    rows,
     num_tuples: int,
     config: SystemConfig,
 ) -> FastDbOutcome:
@@ -373,17 +395,15 @@ def fast_transactions(
     return FastDbOutcome(
         result=result,
         component_stats=replay.component_stats(),
-        observed=observed.tolist(),
-        final_rows=final_flat.reshape(
-            num_tuples, table.schema.num_fields
-        ).tolist(),
+        observed=observed,
+        final_rows=final_flat.reshape(num_tuples, table.schema.num_fields),
     )
 
 
 def fast_analytics(
     layout: StorageLayout,
     query: AnalyticsQuery,
-    rows: list[list[int]],
+    rows,
     num_tuples: int,
     config: SystemConfig,
 ) -> FastDbOutcome:
@@ -411,10 +431,10 @@ def fast_analytics(
 
 def fast_htap_phased(
     layout: StorageLayout,
-    txns_a: list[Transaction],
-    txns_b: list[Transaction],
+    txns_a: TransactionArrays | list[Transaction],
+    txns_b: TransactionArrays | list[Transaction],
     query: AnalyticsQuery,
-    rows: list[list[int]],
+    rows,
     num_tuples: int,
     config: SystemConfig,
 ) -> FastDbOutcome:
@@ -458,7 +478,5 @@ def fast_htap_phased(
         result=result,
         component_stats=replay.component_stats(),
         answer=scan[4],
-        final_rows=final_flat.reshape(
-            num_tuples, table.schema.num_fields
-        ).tolist(),
+        final_rows=final_flat.reshape(num_tuples, table.schema.num_fields),
     )

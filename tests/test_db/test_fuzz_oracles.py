@@ -1,0 +1,136 @@
+"""Property fuzzing: scalar OracleTable vs columnar VecOracleTable.
+
+Hypothesis draws table shapes (including empty and single-tuple
+tables), transaction mixes, and hand-built duplicate-key update
+batches; every draw must agree between the two independent oracle
+implementations on observed reads, final state, digests, and every
+analytics answer. Run explicitly with ``-m fuzz`` (CI's fuzz job
+does); the seeded deterministic version of this battery is
+``repro check oracles``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.queries import (
+    Comparison,
+    FilterQuery,
+    GroupByQuery,
+    oracle_filter,
+    oracle_groupby,
+)
+from repro.db.schema import TableSchema
+from repro.db.table import OracleTable, VecOracleTable, table_digest
+from repro.db.workload import (
+    AnalyticsQuery,
+    FieldOp,
+    Transaction,
+    TransactionMix,
+    generate_transaction_arrays,
+)
+
+pytestmark = [pytest.mark.fuzz, pytest.mark.slow]
+
+schemas = st.sampled_from([2, 4, 8, 16]).map(
+    lambda n: TableSchema(num_fields=n)
+)
+
+# At least one op per transaction; total distinct fields must fit the
+# smallest schema a draw can pair it with is enforced in the test body.
+mixes = st.tuples(
+    st.integers(0, 4), st.integers(0, 4), st.integers(0, 2)
+).filter(lambda t: sum(t) > 0).map(lambda t: TransactionMix(*t))
+
+
+def _rows(data: st.DataObject, num_tuples: int, num_fields: int):
+    value = st.integers(-(1 << 62), 1 << 62)
+    return data.draw(st.lists(
+        st.lists(value, min_size=num_fields, max_size=num_fields),
+        min_size=num_tuples, max_size=num_tuples,
+    ))
+
+
+def _assert_agreement(scalar: OracleTable, vec: VecOracleTable,
+                      txns, arrays=None) -> None:
+    observed = scalar.apply_all(txns)
+    vec_observed = vec.apply_all(arrays if arrays is not None else txns)
+    assert observed == vec_observed.tolist()
+    assert scalar.rows == vec.snapshot()
+    assert table_digest(scalar.rows) == vec.digest()
+
+
+@given(
+    schema=schemas,
+    mix=mixes,
+    num_tuples=st.sampled_from([1, 2, 16, 64]),
+    count=st.integers(0, 24),
+    seed=st.integers(0, 2**16),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_generated_batches_agree(schema, mix, num_tuples, count, seed, data):
+    if mix.total_fields > schema.num_fields:
+        mix = TransactionMix(
+            min(mix.read_only, schema.num_fields - 1), 0,
+            min(mix.read_write, 1) or 1,
+        )
+    rows = _rows(data, num_tuples, schema.num_fields)
+    arrays = generate_transaction_arrays(schema, num_tuples, mix, count,
+                                         seed=seed)
+    scalar = OracleTable(schema, [list(r) for r in rows])
+    vec = VecOracleTable(schema, rows)
+    _assert_agreement(scalar, vec, arrays.to_transactions(), arrays)
+
+
+@given(
+    num_tuples=st.sampled_from([1, 4, 32]),
+    batches=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 7),
+                  st.lists(st.integers(0, (1 << 40) - 1),
+                           min_size=1, max_size=5)),
+        min_size=0, max_size=24,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_duplicate_key_updates_agree(num_tuples, batches, data):
+    """Same-cell read/write chains: each read sees the previous write."""
+    schema = TableSchema()
+    rows = _rows(data, num_tuples, schema.num_fields)
+    txns = []
+    for tuple_pick, fld, values in batches:
+        ops = []
+        for value in values:
+            ops.append(FieldOp(fld, write=False))
+            ops.append(FieldOp(fld, write=True, value=value))
+        ops.append(FieldOp(fld, write=False))
+        txns.append(Transaction(tuple_pick % num_tuples, tuple(ops)))
+    scalar = OracleTable(schema, [list(r) for r in rows])
+    vec = VecOracleTable(schema, rows)
+    _assert_agreement(scalar, vec, txns)
+
+
+@given(
+    num_tuples=st.sampled_from([0, 1, 8, 64]),
+    op=st.sampled_from(list(Comparison)),
+    threshold=st.integers(-(1 << 62), 1 << 62),
+    value_field=st.sampled_from([None, 1, 7]),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_analytics_agree(num_tuples, op, threshold, value_field, data):
+    schema = TableSchema()
+    rows = _rows(data, num_tuples, schema.num_fields)
+    scalar = OracleTable(schema, [list(r) for r in rows])
+    vec = VecOracleTable(schema, rows)
+    for k in range(schema.num_fields):
+        query = AnalyticsQuery((k,))
+        assert scalar.column_sum(query) == vec.column_sum(query)
+    query = FilterQuery(0, op, threshold, value_field)
+    expected = oracle_filter(scalar.rows, query)
+    got = vec.filter(query)
+    assert (got.matches, got.aggregate) == (expected.matches,
+                                            expected.aggregate)
+    group = GroupByQuery(key_field=0, value_field=1)
+    assert vec.groupby(group) == oracle_groupby(scalar.rows, group)

@@ -2,8 +2,17 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.harness.ablations import run_shuffle_ablation
-from repro.harness.common import DEFAULT, FULL, QUICK, current_scale
+from repro.harness.common import (
+    DEFAULT,
+    FULL,
+    PAPER,
+    QUICK,
+    current_scale,
+    get_scale,
+    scale_names,
+)
 
 
 class TestShuffleAblation:
@@ -43,5 +52,26 @@ class TestScalePresets:
 
     def test_bad_scale_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "bogus")
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError) as excinfo:
             current_scale()
+        # The error names every valid preset, not just the bad input.
+        for name in scale_names():
+            assert name in str(excinfo.value)
+
+    def test_get_scale_by_name(self):
+        assert get_scale("paper") is PAPER
+        assert get_scale("quick") is QUICK
+        with pytest.raises(ConfigError):
+            get_scale("gigantic")
+
+    def test_scale_names_cover_paper(self):
+        assert list(scale_names()) == ["quick", "default", "full", "paper"]
+
+    def test_paper_matches_the_paper(self):
+        # Section 5.1: one million 64-byte tuples, 8 fields x 8 bytes.
+        assert PAPER.db_tuples == 1_000_000
+        assert PAPER.db_transactions == 10_000
+        assert PAPER.gemm_sizes[-1] == 1024
+        # Both tuple counts divide the 8-tuple gather granularity.
+        assert PAPER.db_tuples % 8 == 0
+        assert PAPER.htap_tuples % 8 == 0

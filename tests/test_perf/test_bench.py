@@ -82,7 +82,17 @@ class TestBenchCases:
                          "infer-gather", "fig7-sweep-event",
                          "fig7-sweep-fast", "fig9-transactions-fast",
                          "fig10-analytics-fast", "fig11-htap-fast",
-                         "fig13-gemm-fast", "infer-gather-fast"}
+                         "fig13-gemm-fast", "infer-gather-fast",
+                         "genverify-scalar", "genverify-vec"}
+
+    def test_paper_scale_drops_event_figure_cases(self):
+        names = {case.name for case in bench_cases(scale_by_name("paper"))}
+        assert "fig9-transactions" not in names
+        assert "fig9-transactions-fast" in names
+        # The fixed-size pairs survive so fastpath/genverify blocks
+        # stay populated at paper scale.
+        assert {"fig7-sweep-event", "fig7-sweep-fast",
+                "genverify-scalar", "genverify-vec"} <= names
 
     def test_figure_fast_cases_use_fast_specs(self):
         cases = {case.name: case for case in bench_cases(scale_by_name("quick"))}
@@ -128,7 +138,20 @@ class TestRunBench:
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
         for case in payload["cases"]:
             assert set(case) >= {"name", "wall_s", "warm_wall_s", "events",
-                                 "events_per_s", "attribution"}
+                                 "events_per_s", "stages", "attribution"}
+        by_name = {case["name"]: case for case in payload["cases"]}
+        from repro.sim.results import STAGE_NAMES
+
+        for name, case in by_name.items():
+            if name == "fig7-patterns":
+                continue  # closed-form render: no staged driver
+            assert case["stages"], name
+            assert set(case["stages"]) <= set(STAGE_NAMES), name
+            # jobs=1: the staged sections ran serially inside the timed
+            # window, so their sum cannot exceed the cold wall-clock.
+            assert sum(case["stages"].values()) <= case["wall_s"] * 1.05, name
+        assert payload["stages"]
+        assert payload["genverify"]["speedup"] > 1.0
 
         written = list(results.glob("BENCH_*.json"))
         assert len(written) == 1

@@ -21,7 +21,7 @@ from repro.check.invariants import run_all_invariants
 #: Stage names accepted as positional selectors (``repro check
 #: inference`` runs just that battery).
 STAGES = ("invariants", "differential", "fastpath", "oracles", "service",
-          "cluster", "inference")
+          "cluster", "inference", "pim")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,11 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-inference", action="store_true",
         help="skip the inference-family differential battery",
     )
+    parser.add_argument(
+        "--skip-pim", action="store_true",
+        help="skip the in-DRAM compute (MRA/SHIFT) battery",
+    )
+    parser.add_argument(
+        "--list-stages", action="store_true",
+        help="print the stage names, one per line, and exit",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_stages:
+        for stage in STAGES:
+            print(stage)
+        return 0
     failures = 0
 
     def wants(stage: str) -> bool:
@@ -144,6 +156,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check.inference import run_inference_check
 
         report = run_inference_check()
+        print(report.render())
+        if not report.ok:
+            failures += len(report.divergences)
+
+    if wants("pim"):
+        from repro.check.pim import run_pim_check
+
+        report = run_pim_check(seed=args.seed)
         print(report.render())
         if not report.ok:
             failures += len(report.divergences)

@@ -100,6 +100,50 @@ class Bank:
         self.next_precharge = max(self.next_precharge, burst_end + timing.t_wr)
         return burst_end
 
+    # ------------------------------------------------------------------
+    # In-DRAM compute (docs/INDRAM.md)
+    # ------------------------------------------------------------------
+    def issue_mra(self, rows: tuple[int, ...], now: int) -> int:
+        """Issue a multi-row activation; returns its completion cycle.
+
+        MRA is atomic at the bank: it requires a precharged bank (the
+        sense amplifiers must start equalised for charge sharing to
+        compute the bitwise op) and leaves the bank precharged, so the
+        open-row state machine never observes an intermediate state.
+        """
+        if self.open_row is not None:
+            raise ProtocolError(
+                f"bank {self.bank_id}: MRA while row {self.open_row} is open"
+            )
+        if now < self.next_activate:
+            raise ProtocolError(
+                f"bank {self.bank_id}: MRA at {now} before window {self.next_activate}"
+            )
+        self.activations += len(rows)
+        end = now + self.timing.t_mra(len(rows))
+        self.block_until(end)
+        return end
+
+    def issue_shift(self, stages: int, now: int) -> int:
+        """Issue an in-array shift; returns its completion cycle.
+
+        Like MRA, SHIFT is atomic: precharged bank in, precharged bank
+        out, all windows pushed past the internal open/shift/close
+        envelope.
+        """
+        if self.open_row is not None:
+            raise ProtocolError(
+                f"bank {self.bank_id}: SHIFT while row {self.open_row} is open"
+            )
+        if now < self.next_activate:
+            raise ProtocolError(
+                f"bank {self.bank_id}: SHIFT at {now} before window {self.next_activate}"
+            )
+        self.activations += 1
+        end = now + self.timing.t_shift(stages)
+        self.block_until(end)
+        return end
+
     def _check_column(self, row: int, now: int, kind: str) -> None:
         if self.open_row != row:
             raise ProtocolError(

@@ -70,6 +70,48 @@ class Chip:
         start = column * self.column_bytes
         data[start : start + self.column_bytes] = value
 
+    def row_view(self, bank: int, row: int) -> bytearray:
+        """The live storage of (bank, row), allocating zeros if untouched.
+
+        Used by the rank-level in-DRAM compute paths, which need whole
+        rows at once; mutating the returned bytearray mutates the chip.
+        """
+        self._check(bank, row, 0)
+        return self._row(bank, row)
+
+    def combine_rows(
+        self, bank: int, rows: tuple[int, ...], dest: int, op: str
+    ) -> None:
+        """Latch the bitwise ``op`` of ``rows`` into row ``dest``.
+
+        The functional half of a multi-row activation: byte-wise
+        AND/OR over 2-3 source rows, or bitwise majority over exactly
+        3 (``MAJ3(a,b,c) = (a&b)|(a&c)|(b&c)``). Validity of the
+        combination is enforced by :class:`repro.dram.commands.Command`;
+        here we only range-check the addresses.
+        """
+        for r in (*rows, dest):
+            self._check(bank, r, 0)
+        srcs = [self._rows.get((bank, r)) for r in rows]
+        width = self.columns_per_row * self.column_bytes
+        zeros = bytes(width)
+        vals = [int.from_bytes(s if s is not None else zeros, "little")
+                for s in srcs]
+        if op == "AND":
+            acc = vals[0]
+            for v in vals[1:]:
+                acc &= v
+        elif op == "OR":
+            acc = vals[0]
+            for v in vals[1:]:
+                acc |= v
+        elif op == "MAJ":
+            a, b, c = vals
+            acc = (a & b) | (a & c) | (b & c)
+        else:
+            raise AddressError(f"chip {self.chip_id}: unknown MRA op {op!r}")
+        self._row(bank, dest)[:] = acc.to_bytes(width, "little")
+
     @property
     def allocated_rows(self) -> int:
         """Number of rows touched so far (memory-footprint introspection)."""

@@ -3,12 +3,25 @@
 The controller drives banks with the standard DDR command set. Commands
 are plain frozen dataclasses so they can be logged, counted by the
 energy model, and replayed in tests.
+
+Beyond the stock DDR vocabulary this model adds two in-DRAM compute
+commands (see docs/INDRAM.md):
+
+- ``MULTI_ROW_ACTIVATE`` (MRA): simultaneously open 2-3 rows of one
+  bank so the shared bitlines compute a bitwise AND/OR/majority of
+  their contents, latching the result into a destination row
+  (PULSAR-style many-row activation).
+- ``SHIFT``: shift the addressed row's contents as one little-endian
+  bit vector by ``amount`` bit positions (Shifting-in-DRAM-style
+  in-array shifter), zero-filling.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+from repro.errors import ProtocolError
 
 
 class CommandKind(enum.Enum):
@@ -19,6 +32,13 @@ class CommandKind(enum.Enum):
     READ = "RD"
     WRITE = "WR"
     REFRESH = "REF"
+    MULTI_ROW_ACTIVATE = "MRA"
+    SHIFT = "SHIFT"
+
+
+#: Bitwise operations a multi-row activation can compute. AND/OR accept
+#: 2 or 3 source rows; MAJ (bitwise majority) requires exactly 3.
+MRA_OPS = ("AND", "OR", "MAJ")
 
 
 @dataclass(frozen=True)
@@ -28,6 +48,10 @@ class Command:
     ``pattern`` is the GS-DRAM pattern ID riding on the spare column
     address pins (Section 3.6); it is 0 for conventional accesses and is
     ignored by plain (non-GS) modules.
+
+    ``rows``/``op`` are populated only for MRA (source rows and the
+    bitwise operation; ``row`` holds the destination), ``amount`` only
+    for SHIFT (bit positions, direction ``left``/``right`` in ``op``).
     """
 
     kind: CommandKind
@@ -35,6 +59,55 @@ class Command:
     row: int = 0
     column: int = 0
     pattern: int = 0
+    rows: tuple[int, ...] = ()
+    op: str = ""
+    amount: int = 0
+
+    def __post_init__(self) -> None:
+        # Audit shared fields first: REF is the only broadcast (bank-less)
+        # command; everything else addresses a real bank and row/column.
+        if self.kind is CommandKind.REFRESH:
+            if self.bank != -1:
+                raise ProtocolError("REF is all-bank; use bank=-1",
+                                    bank=self.bank)
+        elif self.bank < 0:
+            raise ProtocolError("command needs a non-negative bank",
+                                kind=self.kind.value, bank=self.bank)
+        if self.row < 0 or self.column < 0 or self.pattern < 0:
+            raise ProtocolError("row/column/pattern must be non-negative",
+                                kind=self.kind.value, row=self.row,
+                                column=self.column, pattern=self.pattern)
+        if self.kind is CommandKind.MULTI_ROW_ACTIVATE:
+            if len(self.rows) < 2 or len(self.rows) > 3:
+                raise ProtocolError("MRA needs 2-3 source rows",
+                                    rows=self.rows)
+            if len(set(self.rows)) != len(self.rows):
+                raise ProtocolError("MRA source rows must be distinct",
+                                    rows=self.rows)
+            if any(r < 0 for r in self.rows):
+                raise ProtocolError("MRA source rows must be non-negative",
+                                    rows=self.rows)
+            if self.op not in MRA_OPS:
+                raise ProtocolError("MRA op must be one of AND/OR/MAJ",
+                                    op=self.op)
+            if self.op == "MAJ" and len(self.rows) != 3:
+                raise ProtocolError("MAJ requires exactly 3 source rows",
+                                    rows=self.rows)
+        elif self.kind is CommandKind.SHIFT:
+            if self.amount <= 0:
+                raise ProtocolError("SHIFT needs a positive amount",
+                                    amount=self.amount)
+            if self.op not in ("left", "right"):
+                raise ProtocolError("SHIFT direction must be left/right",
+                                    op=self.op)
+        else:
+            # The stock DDR kinds never carry compute fields; rejecting
+            # them here keeps unset fields from silently passing.
+            if self.rows or self.op or self.amount:
+                raise ProtocolError(
+                    "rows/op/amount are MRA/SHIFT-only fields",
+                    kind=self.kind.value, rows=self.rows, op=self.op,
+                    amount=self.amount)
 
     def __str__(self) -> str:
         if self.kind is CommandKind.ACTIVATE:
@@ -43,6 +116,11 @@ class Command:
             return f"PRE(b{self.bank})"
         if self.kind is CommandKind.REFRESH:
             return "REF"
+        if self.kind is CommandKind.MULTI_ROW_ACTIVATE:
+            srcs = ",".join(f"r{r}" for r in self.rows)
+            return f"MRA(b{self.bank}, {self.op}[{srcs}] -> r{self.row})"
+        if self.kind is CommandKind.SHIFT:
+            return f"SHIFT(b{self.bank}, r{self.row} {self.op} {self.amount})"
         return f"{self.kind.value}(b{self.bank}, c{self.column}, p{self.pattern})"
 
 
@@ -69,3 +147,15 @@ def write(bank: int, column: int, pattern: int = 0) -> Command:
 def refresh() -> Command:
     """REFRESH: all-bank refresh (banks must be precharged)."""
     return Command(CommandKind.REFRESH, bank=-1)
+
+
+def mra(bank: int, rows: tuple[int, ...], dest: int, op: str) -> Command:
+    """MRA: latch ``op`` over ``rows`` into row ``dest`` of ``bank``."""
+    return Command(CommandKind.MULTI_ROW_ACTIVATE, bank=bank, row=dest,
+                   rows=tuple(rows), op=op)
+
+
+def shift(bank: int, row: int, amount: int, direction: str = "left") -> Command:
+    """SHIFT: shift row ``row`` of ``bank`` by ``amount`` bits in place."""
+    return Command(CommandKind.SHIFT, bank=bank, row=row, amount=amount,
+                   op=direction)

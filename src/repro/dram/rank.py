@@ -88,3 +88,76 @@ class Rank:
             chip_col = self.chip_column(chip.chip_id, column, pattern)
             lane = data[chip.chip_id * width : (chip.chip_id + 1) * width]
             chip.write_column(bank, row, chip_col, lane)
+
+    # ------------------------------------------------------------------
+    # In-DRAM compute (docs/INDRAM.md)
+    # ------------------------------------------------------------------
+    def read_row(self, bank: int, row: int) -> bytes:
+        """The whole row in logical line order (column 0 line first).
+
+        Equivalent to 128 pattern-0 ``read_line`` calls, vectorized:
+        chip ``i``'s storage supplies byte lanes ``i*w..(i+1)*w`` of
+        every line (pattern 0 is the identity on every rank flavour,
+        so the per-chip column translation can be bypassed).
+        """
+        import numpy as np
+
+        width = self.column_bytes
+        stack = np.empty(
+            (self.columns_per_row, self.num_chips, width), dtype=np.uint8
+        )
+        for chip in self.chips:
+            stack[:, chip.chip_id, :] = np.frombuffer(
+                chip.row_view(bank, row), dtype=np.uint8
+            ).reshape(self.columns_per_row, width)
+        return stack.tobytes()
+
+    def write_row(self, bank: int, row: int, data: bytes) -> None:
+        """Fill the whole row from ``data`` in logical line order."""
+        import numpy as np
+
+        if len(data) != self.row_bytes:
+            raise AddressError(
+                f"row write of {len(data)} bytes, rank row size is {self.row_bytes}"
+            )
+        width = self.column_bytes
+        stack = np.frombuffer(data, dtype=np.uint8).reshape(
+            self.columns_per_row, self.num_chips, width
+        )
+        for chip in self.chips:
+            target = np.frombuffer(
+                chip.row_view(bank, row), dtype=np.uint8
+            ).reshape(self.columns_per_row, width)
+            target[:] = stack[:, chip.chip_id, :]
+
+    def mra(self, bank: int, rows: tuple[int, ...], dest: int, op: str) -> None:
+        """Multi-row activate: every chip combines its slice in lockstep.
+
+        The bitwise ops are bit-local, so each chip computes its own
+        ``column_bytes``-wide lanes independently — exactly how the
+        command decodes on real hardware (all chips see the same
+        addresses).
+        """
+        for chip in self.chips:
+            chip.combine_rows(bank, rows, dest, op)
+
+    def shift_row(self, bank: int, row: int, amount: int,
+                  direction: str = "left") -> None:
+        """Shift the row as one little-endian bit vector, zero-filling.
+
+        Bit ``t`` lives in byte ``t // 8`` of the row's logical line
+        order; shifts cross chip (and column) boundaries, so the
+        functional model assembles the full row, shifts it as an
+        integer, and scatters it back.
+        """
+        if amount <= 0:
+            raise AddressError(f"shift amount must be positive, got {amount}")
+        bits = self.row_bytes * 8
+        value = int.from_bytes(self.read_row(bank, row), "little")
+        if direction == "left":
+            value = (value << amount) & ((1 << bits) - 1)
+        elif direction == "right":
+            value >>= amount
+        else:
+            raise AddressError(f"unknown shift direction {direction!r}")
+        self.write_row(bank, row, value.to_bytes(self.row_bytes, "little"))

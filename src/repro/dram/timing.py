@@ -82,6 +82,32 @@ class DRAMTiming:
         """READ-to-data latency when the row is already open."""
         return self.cl
 
+    def t_mra(self, num_rows: int) -> int:
+        """Latency of a multi-row activation over ``num_rows`` rows.
+
+        Derived from the stock constraints (docs/INDRAM.md): the rows
+        are raised back-to-back at the inter-ACT spacing (``t_rrd``
+        apart), charge sharing + sensing must still satisfy ``t_ras``
+        from the *first* wordline, and the bank precharges afterwards
+        so the command is atomic: ``t_ras + (k-1)*t_rrd + t_rp``.
+        """
+        if num_rows < 2 or num_rows > 3:
+            raise ConfigError(
+                f"MRA spans 2-3 rows, got {num_rows}")
+        return self.t_ras + (num_rows - 1) * self.t_rrd + self.t_rp
+
+    def t_shift(self, stages: int) -> int:
+        """Latency of an in-array shift taking ``stages`` barrel stages.
+
+        A shift by ``n`` runs ``bit_length(n)`` barrel-shifter stages,
+        each paced like a column command (``t_ccd``), inside one
+        open/close envelope: ``t_rcd + stages*t_ccd + t_rp``.
+        """
+        if stages < 1:
+            raise ConfigError(
+                f"SHIFT needs at least one barrel stage, got {stages}")
+        return self.t_rcd + stages * self.t_ccd + self.t_rp
+
 
 def ddr3_1600() -> DRAMTiming:
     """DDR3-1600 (11-11-11), in 800 MHz bus cycles. Used in Table 1."""

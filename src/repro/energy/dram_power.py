@@ -37,6 +37,13 @@ def ddr3_1600_currents() -> DDRCurrents:
     return DDRCurrents()
 
 
+#: Fraction of an ACT/PRE pair's energy spent in the array (wordline
+#: drive + sensing + restore) as opposed to the bank periphery; the
+#: array share is what scales with simultaneously raised rows in a
+#: multi-row activation. 0.7 follows the usual DRAMPower-style split.
+MRA_ARRAY_FRACTION = 0.7
+
+
 @dataclass(frozen=True)
 class CommandEnergies:
     """Per-rank energy per command, in nanojoules."""
@@ -46,11 +53,21 @@ class CommandEnergies:
     write_nj: float
     refresh_nj: float
     background_mw: float  # average standby power for the rank
+    #: In-DRAM compute (docs/INDRAM.md): a k-row MRA costs the array
+    #: fraction of an ACT/PRE pair per raised row plus one periphery
+    #: share; a SHIFT costs one open/close envelope plus a per-stage
+    #: column-cadence term. Defaults keep older pickled/derived
+    #: profiles constructible.
+    mra2_nj: float = 0.0
+    mra3_nj: float = 0.0
+    shift_stage_nj: float = 0.0
 
     def render(self) -> str:
         return (
             f"ACT/PRE {self.activate_nj:.2f} nJ, RD {self.read_nj:.2f} nJ, "
             f"WR {self.write_nj:.2f} nJ, REF {self.refresh_nj:.1f} nJ, "
+            f"MRA2 {self.mra2_nj:.2f} nJ, MRA3 {self.mra3_nj:.2f} nJ, "
+            f"SHIFT/stage {self.shift_stage_nj:.2f} nJ, "
             f"background {self.background_mw:.0f} mW"
         )
 
@@ -84,12 +101,28 @@ def derive_command_energies(
     standby_ma = (currents.idd2n + currents.idd3n) / 2
     background_mw = standby_ma * vdd * chips
 
+    # In-DRAM compute. Split the ACT/PRE energy into an array fraction
+    # (wordline + sensing, scales with the number of simultaneously
+    # raised rows) and a periphery fraction (decode + I/O gating, paid
+    # once per command); MRA over k rows then costs
+    # ``activate * (ARRAY_FRACTION*k + (1 - ARRAY_FRACTION))``. A shift
+    # stage moves a row-buffer's worth of data through the in-array
+    # shifter at column cadence: the read-burst array current over
+    # t_ccd, with no I/O term (data never leaves the chip).
+    mra2 = activate * (MRA_ARRAY_FRACTION * 2 + (1 - MRA_ARRAY_FRACTION))
+    mra3 = activate * (MRA_ARRAY_FRACTION * 3 + (1 - MRA_ARRAY_FRACTION))
+    t_ccd_ns = timing_bus_cycles.t_ccd * bus_ns
+    shift_stage = ma_ns_to_nj(currents.idd4r - currents.idd3n, t_ccd_ns)
+
     return CommandEnergies(
         activate_nj=activate,
         read_nj=read,
         write_nj=write,
         refresh_nj=refresh,
         background_mw=background_mw,
+        mra2_nj=mra2,
+        mra3_nj=mra3,
+        shift_stage_nj=shift_stage,
     )
 
 
@@ -114,7 +147,11 @@ def dram_energy(
     """Energy for a run given controller command counts and runtime.
 
     ``command_counts`` uses the controller's counter names
-    (``cmd_ACT``, ``cmd_RD``, ``cmd_WR``, ``cmd_REF``).
+    (``cmd_ACT``, ``cmd_RD``, ``cmd_WR``, ``cmd_REF``), plus the PIM
+    executor's in-DRAM compute counters: ``cmd_MRA2``/``cmd_MRA3``
+    (2- and 3-row activations), ``cmd_SHIFT`` (each paying one
+    open/close envelope, counted at ``activate_nj``) and
+    ``shift_stages`` (total barrel stages across all shifts).
     """
     if energies is None:
         from repro.dram.timing import ddr3_1600
@@ -125,6 +162,10 @@ def dram_energy(
         + command_counts.get("cmd_RD", 0) * energies.read_nj
         + command_counts.get("cmd_WR", 0) * energies.write_nj
         + command_counts.get("cmd_REF", 0) * energies.refresh_nj
+        + command_counts.get("cmd_MRA2", 0) * energies.mra2_nj
+        + command_counts.get("cmd_MRA3", 0) * energies.mra3_nj
+        + command_counts.get("cmd_SHIFT", 0) * energies.activate_nj
+        + command_counts.get("shift_stages", 0) * energies.shift_stage_nj
     )
     runtime_s = runtime_cycles / (cpu_ghz * 1e9)
     background_mj = energies.background_mw * runtime_s  # mW * s == mJ

@@ -23,6 +23,7 @@ from repro.harness.fig12_summary import run_figure12
 from repro.harness.fig13_gemm import run_figure13
 from repro.harness.fw_autopattern import run_autopattern_experiment
 from repro.harness.inference import run_inference
+from repro.harness.pim import run_pim_ablation
 from repro.harness.patternscan import (
     PatternScanRun,
     pattern_sweep_specs,
@@ -62,6 +63,7 @@ __all__ = [
     "run_impulse_ablation",
     "run_pattern_sweep",
     "run_patternscan",
+    "run_pim_ablation",
     "run_scaling_ablation",
     "run_scheduler_ablation",
     "run_shuffle_ablation",

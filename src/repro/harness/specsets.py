@@ -18,7 +18,10 @@ from repro.perf.specs import RunSpec
 #: has nothing to trace). "infer" is the ML-inference family
 #: (repro.infer): not a paper figure, but the same figure-shaped
 #: baseline-vs-GS comparison over GEMV / embedding / KV-cache gathers.
-SPEC_FIGURES = ("fig9", "fig10", "fig11", "fig13", "infer")
+#: "pim" is the in-DRAM compute ablation (repro.pim): GS-DRAM gather +
+#: CPU fold vs MRA+SHIFT programs executing inside the chips
+#: (docs/INDRAM.md).
+SPEC_FIGURES = ("fig9", "fig10", "fig11", "fig13", "infer", "pim")
 
 #: Cache sizing for the inference family: the paper's interesting
 #: regime has the gathered working set exceed the caches (its 64 MB
@@ -124,6 +127,23 @@ def figure_specs(figure: str, scale: Scale,
             )
             for workload, shape in shapes.items()
             for variant in ("baseline", "gs")
+        ]
+    if figure == "pim":
+        # seed=1 reuses the memoized fig9/fig10 rows master, so the
+        # ablation's table column is free when the DB figures already ran.
+        return [
+            RunSpec(
+                kind="pim",
+                params={
+                    "workload": workload,
+                    "variant": variant,
+                    "num_tuples": scale.db_tuples,
+                },
+                seed=1,
+                mode=mode,
+            )
+            for workload in ("sum", "filter")
+            for variant in ("gs", "pim")
         ]
     raise ConfigError(
         f"unknown figure {figure!r}; expected one of {SPEC_FIGURES}"

@@ -2,6 +2,11 @@
 
 from repro.mem.controller import MemoryController
 from repro.mem.impulse import ImpulseController, ImpulseModule
+from repro.mem.mapping import (
+    MappingPolicy,
+    PIMRowGroupPolicy,
+    StaticPatternPolicy,
+)
 from repro.mem.profile import (
     BandwidthProfile,
     RowLocality,
@@ -17,7 +22,10 @@ __all__ = [
     "FRFCFS",
     "ImpulseController",
     "ImpulseModule",
+    "MappingPolicy",
+    "PIMRowGroupPolicy",
     "RowLocality",
+    "StaticPatternPolicy",
     "bandwidth_profile",
     "row_locality",
     "MemoryController",

@@ -1,0 +1,140 @@
+"""The mapping-policy seam: who owns address translation + placement.
+
+Historically :class:`~repro.sim.system.System` wired a
+:class:`~repro.vm.page_table.PageTable` and a
+:class:`~repro.vm.pattmalloc.PattAllocator` together inline; every
+consumer that wanted the same behaviour (the fast path, the PIM
+executor) re-built the pair by hand. ROADMAP item 5 notes that both
+dynamic remapping (DReAM-style) and in-DRAM compute placement want a
+single seam instead. :class:`MappingPolicy` is that seam: it owns the
+page table and allocator, answers translation queries, and exposes
+placement hooks that subclasses specialise.
+
+Two policies ship today:
+
+- :class:`StaticPatternPolicy` — exactly the historical behaviour:
+  static pattern-ID attributes recorded at ``pattmalloc`` time,
+  identity physical mapping.
+- :class:`PIMRowGroupPolicy` — adds same-bank *row-group* reservation
+  for in-DRAM compute (MRA operands must share a bank, see
+  docs/INDRAM.md): groups are carved top-down from the highest rows
+  while the bump allocator grows bottom-up, and the allocator's
+  capacity is shrunk past each reservation so the two can never meet.
+
+This class is unrelated to the address-bit-split enum
+:class:`repro.dram.address.MappingPolicy`, which keeps its name for
+compatibility (it is embedded in perf cache keys).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.vm.page_table import PageTable
+from repro.vm.pattmalloc import PattAllocator
+
+
+class MappingPolicy:
+    """Owns translation + placement for one module's physical space."""
+
+    name = "static"
+
+    def __init__(self, module, page_table: PageTable | None = None) -> None:
+        self.module = module
+        self.page_table = page_table or PageTable()
+        self.allocator = PattAllocator(
+            capacity_bytes=module.geometry.capacity_bytes,
+            line_bytes=module.line_bytes,
+            row_bytes=module.geometry.row_bytes,
+            page_table=self.page_table,
+        )
+
+    # -- allocation --------------------------------------------------
+    def pattmalloc(self, size: int, shuffle: bool = False,
+                   pattern: int = 0) -> int:
+        """Allocate with GS attributes (Section 4.3's ``pattmalloc``)."""
+        return self.allocator.pattmalloc(size, shuffle=shuffle, pattern=pattern)
+
+    def malloc(self, size: int) -> int:
+        """Plain allocation: no shuffling, pattern 0 only."""
+        return self.allocator.malloc(size)
+
+    # -- translation -------------------------------------------------
+    def translate(self, address: int):
+        """Virtual -> (physical, shuffled, alt_pattern); identity paddr."""
+        return self.page_table.translate(address)
+
+    def locate(self, address: int):
+        """Physical address -> :class:`~repro.dram.address.DecodedAddress`."""
+        return self.module.mapping.decode(address)
+
+    def row_address(self, bank: int, row: int) -> int:
+        """Physical address of the first byte of ``(bank, row)``."""
+        return self.module.mapping.encode(bank, row, 0)
+
+    # -- placement hooks ---------------------------------------------
+    def reserve_row_group(self, bank: int, count: int) -> tuple[int, ...]:
+        """Reserve ``count`` same-bank rows for in-DRAM compute.
+
+        The static policy has no compute placement; subclasses that
+        support it override this.
+        """
+        raise AllocationError(
+            f"mapping policy {self.name!r} cannot reserve PIM row groups"
+        )
+
+
+class StaticPatternPolicy(MappingPolicy):
+    """Today's behaviour: static pattern-ID mapping, nothing reserved."""
+
+    name = "static-pattern"
+
+
+class PIMRowGroupPolicy(StaticPatternPolicy):
+    """Static mapping plus top-down per-bank row-group reservation."""
+
+    name = "pim-row-group"
+
+    def __init__(self, module, page_table: PageTable | None = None) -> None:
+        super().__init__(module, page_table)
+        rows = module.geometry.rows_per_bank
+        #: Next unreserved row per bank, counting down from the top.
+        self._next_free_row = {
+            bank: rows for bank in range(module.geometry.banks)
+        }
+
+    def reserved_rows(self, bank: int) -> int:
+        """How many rows of ``bank`` are reserved for compute."""
+        return self.module.geometry.rows_per_bank - self._next_free_row[bank]
+
+    def reserve_row_group(self, bank: int, count: int) -> tuple[int, ...]:
+        """Carve ``count`` rows off the top of ``bank``; returns them
+        in ascending row order.
+
+        Reservation shrinks the bump allocator's capacity to the lowest
+        physical address any reserved row can map to, so ordinary
+        allocations can never grow into compute-owned rows (checked
+        both ways: a reservation that would dip below already-allocated
+        space raises).
+        """
+        if count <= 0:
+            raise AllocationError(f"cannot reserve {count} rows")
+        top = self._next_free_row[bank]
+        floor = top - count
+        if floor < 0:
+            raise AllocationError(
+                f"bank {bank}: no room for {count} more PIM rows "
+                f"({self.reserved_rows(bank)} already reserved)"
+            )
+        # The lowest address a reserved row can occupy, over any bank
+        # and either bit-split policy, is (bank 0, row floor, column 0).
+        boundary = self.module.mapping.encode(0, floor, 0)
+        if self.allocator.used_bytes > boundary:
+            raise AllocationError(
+                f"bank {bank}: PIM row group would overlap allocated data "
+                f"(boundary {boundary:#x}, used {self.allocator.used_bytes:#x})"
+            )
+        self.allocator.capacity_bytes = min(
+            self.allocator.capacity_bytes, boundary
+        )
+        self._next_free_row[bank] = floor
+        return tuple(range(floor, top))

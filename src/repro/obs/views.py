@@ -36,6 +36,16 @@ def commands_from_trace(events: list[dict]) -> list[tuple[int, Command]]:
         if kind is None:
             continue
         args = event.get("args", {})
+        # The in-DRAM compute kinds carry extra fields that
+        # Command.__post_init__ validates; reconstruct them from the
+        # event args (the PIM executor always records them).
+        extra: dict = {}
+        if kind is CommandKind.MULTI_ROW_ACTIVATE:
+            extra = {"rows": tuple(args.get("rows", (0, 1))),
+                     "op": args.get("op", "AND")}
+        elif kind is CommandKind.SHIFT:
+            extra = {"amount": args.get("amount", 1),
+                     "op": args.get("op", "left")}
         commands.append(
             (
                 int(event["ts"]),
@@ -45,6 +55,7 @@ def commands_from_trace(events: list[dict]) -> list[tuple[int, Command]]:
                     row=args.get("row", 0),
                     column=args.get("column", 0),
                     pattern=args.get("pattern", 0),
+                    **extra,
                 ),
             )
         )

@@ -147,6 +147,7 @@ def bench_cases(scale) -> list[BenchCase]:
         "fig11": "fig11-htap",
         "fig13": "fig13-gemm",
         "infer": "infer-gather",
+        "pim": "pim-ablation",
     }
     fast_only = scale.name == "paper"
     cases = [BenchCase("fig7-patterns", func=render_figure7)]
@@ -276,6 +277,55 @@ def _attribution(records: list[Any]) -> dict[str, Any]:
     return out
 
 
+def _pim_block(pim_records: dict[str, list[Any]]) -> dict | None:
+    """Per-workload GS-gather-vs-in-DRAM gains for the PIM ablation.
+
+    Built from the run records the bench already produced. Each entry
+    records both sides' work proxies, cycles, and energy — the
+    baseline is the committed evidence for the ablation's honest
+    result shape: at bench scale the in-DRAM *filter* wins outright in
+    event mode while *sum* wins on traffic only (its cycle win needs
+    tables large enough to amortise the per-chunk adder tree; see
+    docs/INDRAM.md).
+    """
+    if not pim_records:
+        return None
+    block: dict[str, Any] = {}
+    for mode, records in pim_records.items():
+        runs = [getattr(record, "record", record) for record in records]
+        by_key = {(run.workload, run.variant): run for run in runs}
+        workloads: dict[str, Any] = {}
+        for workload in ("sum", "filter"):
+            gs = by_key.get((workload, "gs"))
+            pim = by_key.get((workload, "pim"))
+            if gs is None or pim is None:
+                continue
+            entry: dict[str, Any] = {
+                "gs_work": gs.work_proxy,
+                "pim_work": pim.work_proxy,
+                "gain": (gs.work_proxy / pim.work_proxy
+                         if pim.work_proxy else None),
+                "traffic_reduction": (
+                    gs.result.memory_accesses
+                    / max(pim.result.memory_accesses, 1)
+                ),
+                "verified": gs.verified and pim.verified,
+            }
+            if mode == "event":
+                entry["gs_cycles"] = gs.result.cycles
+                entry["pim_cycles"] = pim.result.cycles
+                entry["gs_energy_mj"] = gs.result.energy.total_mj
+                entry["pim_energy_mj"] = pim.result.energy.total_mj
+                pim_energy = pim.result.energy.total_mj
+                entry["energy_gain"] = (
+                    gs.result.energy.total_mj / pim_energy
+                    if pim_energy else None
+                )
+            workloads[workload] = entry
+        block[mode] = workloads
+    return block or None
+
+
 def _infer_block(infer_records: dict[str, list[Any]]) -> dict | None:
     """Per-workload GS-DRAM-vs-baseline gains for the inference family.
 
@@ -403,6 +453,7 @@ def run_bench(
     total_wall = 0.0
     total_events = 0.0
     infer_records: dict[str, list[Any]] = {}
+    pim_records: dict[str, list[Any]] = {}
     profiles: dict[str, str] = {}
     try:
         for case in bench_cases(scale):
@@ -444,6 +495,10 @@ def run_bench(
                 infer_records["event"] = records
             elif case.name == "infer-gather-fast":
                 infer_records["fast"] = records
+            elif case.name == "pim-ablation":
+                pim_records["event"] = records
+            elif case.name == "pim-ablation-fast":
+                pim_records["fast"] = records
             attribution = _attribution(records)
             events = attribution["engine_events"]
             total_wall += cold_wall
@@ -494,6 +549,10 @@ def run_bench(
     if infer_block is not None and "infer-gather" in figure_speedups:
         infer_block["fast_speedup"] = figure_speedups["infer-gather"]["speedup"]
 
+    pim_block = _pim_block(pim_records)
+    if pim_block is not None and "pim-ablation" in figure_speedups:
+        pim_block["fast_speedup"] = figure_speedups["pim-ablation"]["speedup"]
+
     genverify = None
     if "genverify-scalar" in by_name and "genverify-vec" in by_name:
         scalar_wall = by_name["genverify-scalar"]["wall_s"]
@@ -521,6 +580,7 @@ def run_bench(
         "fastpath": fastpath,
         "genverify": genverify,
         "infer": infer_block,
+        "pim": pim_block,
         "stages": stage_totals,
         "cache": dict(cache.stats, hit_rate=cache.hit_rate),
         "totals": {
@@ -761,6 +821,16 @@ def render_summary(payload: dict) -> str:
                 line = f"  infer {workload}: GS-DRAM {entry['gain']:.2f}x"
                 if entry.get("energy_gain"):
                     line += f" ({entry['energy_gain']:.2f}x energy)"
+                lines.append(line)
+    pim_block = payload.get("pim")
+    if pim_block:
+        for workload, entry in sorted(pim_block.get("event", {}).items()):
+            if entry.get("gain"):
+                line = f"  pim {workload}: in-DRAM {entry['gain']:.2f}x"
+                if entry.get("energy_gain"):
+                    line += f" ({entry['energy_gain']:.2f}x energy"
+                    line += (f", {entry['traffic_reduction']:.1f}x traffic)"
+                             if entry.get("traffic_reduction") else ")")
                 lines.append(line)
     verdict = payload.get("regression_check")
     if verdict:

@@ -26,8 +26,8 @@ class RunSpec:
     """One independent simulation run, by value.
 
     ``kind`` selects the driver (``transactions`` / ``analytics`` /
-    ``htap`` / ``gemm`` / ``patternscan`` / ``infer``), ``layout``
-    names a storage
+    ``htap`` / ``gemm`` / ``patternscan`` / ``infer`` / ``pim``),
+    ``layout`` names a storage
     layout from
     :func:`make_layout`, ``params`` are the driver's keyword arguments,
     and ``seed`` pins the workload generator.
@@ -213,6 +213,21 @@ def _execute_driver(spec: RunSpec) -> Any:
         if spec.seed is not None:
             params.setdefault("seed", spec.seed)
         return run_infer(
+            workload,
+            variant,
+            mode=spec.mode,
+            config_overrides=overrides,
+            **params,
+        )
+    if spec.kind == "pim":
+        from repro.pim.driver import run_pim
+
+        workload = params.pop("workload")
+        variant = params.pop("variant")
+        overrides = dict(spec.config_overrides) or None
+        if spec.seed is not None:
+            params.setdefault("seed", spec.seed)
+        return run_pim(
             workload,
             variant,
             mode=spec.mode,

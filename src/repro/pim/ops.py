@@ -1,0 +1,233 @@
+"""Compiling analytics aggregates into MRA + SHIFT programs.
+
+Layout: *bit slices* with *dual-rail* encoding. A chunk of up to
+``row_bytes * 8`` values lives in one bank as ``W`` slice rows —
+bit-lane ``t`` of slice ``w`` is bit ``w`` of value ``t`` — plus one
+complement row per slice. The complement rail exists because the MRA
+primitive set (AND/OR/MAJ) has no inversion: every intermediate the
+programs need is produced together with its complement from
+complementary minterm formulas, and the input complements are
+computed at (untimed) load, exactly like PULSAR-style bit-serial
+arithmetic. Lanes beyond the live values hold 0 on the data rail and
+1 on the complement rail — the dual-rail encoding of the value 0 —
+so reductions over the full row are exact without masking.
+
+Two aggregates compile today, both over one u64 field column of the
+DB table:
+
+- ``column sum`` — lane-halving tree reduction: per level, copy the
+  accumulator slices (2-row AND with an all-ones control row), SHIFT
+  the copies right by the level stride so lane ``t+s`` aligns with
+  lane ``t``, then ripple-carry add copy into accumulator with a
+  15-MRA dual-rail full adder per bit. After ``ceil(log2(lanes))``
+  levels lane 0 holds the chunk total; the per-chunk partials (one
+  per bank chunk) are read back and added on the CPU.
+- ``predicate filter`` (``field < K``) — MSB-first comparator, ~3
+  MRAs per bit, leaving a match mask row that is read back (N/8 bytes
+  instead of the N*8 bytes a gather moves) and popcounted.
+
+Shift-in zeros corrupt the complement rail only in the top ``s``
+lanes of a level; a lane-index argument shows no live lane ever
+consumes them, and the byte-for-byte oracle check in tests and
+``repro check pim`` enforces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.pim.executor import PIMExecutor
+from repro.pim.reference import bit_slice_rows
+
+
+def _ceil_log2(n: int) -> int:
+    return max(n - 1, 0).bit_length()
+
+
+class SliceChunk:
+    """One bank-resident chunk of bit-sliced values + its programs."""
+
+    def __init__(
+        self,
+        executor: PIMExecutor,
+        policy,
+        bank: int,
+        values: np.ndarray,
+        width_in: int,
+    ) -> None:
+        module = executor.module
+        self.ex = executor
+        self.bank = bank
+        self.lanes = int(values.shape[0])
+        self.row_bytes = module.geometry.row_bytes
+        if self.lanes > self.row_bytes * 8:
+            raise WorkloadError(
+                f"chunk of {self.lanes} lanes exceeds the "
+                f"{self.row_bytes * 8}-lane row")
+        self.width_in = width_in
+        self.levels = _ceil_log2(self.lanes)
+        #: Slices needed for the running sum: inputs plus one carry-out
+        #: bit per reduction level.
+        self.width = width_in + self.levels
+        group = policy.reserve_row_group(bank, 4 * self.width + 13)
+        rows = list(group)
+        take = lambda n: [rows.pop() for _ in range(n)]
+        self.A = take(self.width)     # accumulator data rail
+        self.An = take(self.width)    # accumulator complement rail
+        self.B = take(self.width)     # shifted-addend data rail
+        self.Bn = take(self.width)    # shifted-addend complement rail
+        (self.ONE, self.ZERO, self.C, self.Cn, self.C2, self.C2n,
+         self.S, self.E, self.L) = take(9)
+        self.T = take(4)              # minterm scratch
+        self._load(values)
+
+    # ------------------------------------------------------------------
+    # Setup (untimed, symmetric with the GS table load)
+    # ------------------------------------------------------------------
+    def _load(self, values: np.ndarray) -> None:
+        slices = bit_slice_rows(values, self.width_in, self.row_bytes)
+        for w in range(self.width_in):
+            data = slices[w].tobytes()
+            self.ex.load_row(self.bank, self.A[w], data)
+            self.ex.load_row(self.bank, self.An[w],
+                             (~slices[w]).tobytes())
+        ones = b"\xff" * self.row_bytes
+        self.ex.load_row(self.bank, self.ONE, ones)
+        # Untouched rows read as zeros, but the high accumulator
+        # slices' complement rails must read as ones (the dual-rail
+        # encoding of 0) before their carry-out is written.
+        for w in range(self.width_in, self.width):
+            self.ex.load_row(self.bank, self.An[w], ones)
+
+    # ------------------------------------------------------------------
+    # Command-emitting building blocks
+    # ------------------------------------------------------------------
+    def _copy(self, src: int, dest: int) -> None:
+        """dest := src, as a 2-row AND with the all-ones control row."""
+        self.ex.mra(self.bank, (src, self.ONE), dest, "AND")
+
+    def _clear_carry(self) -> None:
+        self.ex.mra(self.bank, (self.ZERO, self.ONE), self.C, "AND")
+        self.ex.mra(self.bank, (self.ZERO, self.ONE), self.Cn, "OR")
+
+    def _full_adder(self, w: int) -> None:
+        """A[w], carry := A[w] + B[w] + carry, dual-rail (15 MRAs)."""
+        ex, bank = self.ex, self.bank
+        a, an = self.A[w], self.An[w]
+        b, bn = self.B[w], self.Bn[w]
+        c, cn = self.C, self.Cn
+        t1, t2, t3, t4 = self.T
+        ex.mra(bank, (a, b, c), self.C2, "MAJ")
+        ex.mra(bank, (an, bn, cn), self.C2n, "MAJ")
+        # sum = XOR3 as an OR of its four minterms, staged in S so the
+        # complement can still read the original a.
+        ex.mra(bank, (a, bn, cn), t1, "AND")
+        ex.mra(bank, (an, b, cn), t2, "AND")
+        ex.mra(bank, (an, bn, c), t3, "AND")
+        ex.mra(bank, (a, b, c), t4, "AND")
+        ex.mra(bank, (t1, t2, t3), self.S, "OR")
+        ex.mra(bank, (self.S, t4), self.S, "OR")
+        # ~sum from the complementary minterms, straight into An[w].
+        ex.mra(bank, (an, bn, cn), t1, "AND")
+        ex.mra(bank, (a, b, cn), t2, "AND")
+        ex.mra(bank, (a, bn, c), t3, "AND")
+        ex.mra(bank, (an, b, c), t4, "AND")
+        ex.mra(bank, (t1, t2, t3), an, "OR")
+        ex.mra(bank, (an, t4), an, "OR")
+        self._copy(self.S, a)
+        # The carry chains into the next bit: swap roles (free —
+        # compiler-side renaming, no command).
+        self.C, self.C2 = self.C2, self.C
+        self.Cn, self.C2n = self.C2n, self.Cn
+
+    # ------------------------------------------------------------------
+    # Programs
+    # ------------------------------------------------------------------
+    def sum_reduce(self) -> None:
+        """Tree-reduce the chunk; lane 0 of A ends up the chunk total."""
+        stride = 1
+        for level in range(self.levels):
+            live_width = self.width_in + level
+            for w in range(live_width):
+                self._copy(self.A[w], self.B[w])
+                self._copy(self.An[w], self.Bn[w])
+                self.ex.shift(self.bank, self.B[w], stride, "right")
+                self.ex.shift(self.bank, self.Bn[w], stride, "right")
+            self._clear_carry()
+            for w in range(live_width):
+                self._full_adder(w)
+            # Ripple carry-out becomes the new top slice (it was 0/1
+            # dual-rail until now, so a copy is exact).
+            self._copy(self.C, self.A[live_width])
+            self._copy(self.Cn, self.An[live_width])
+            stride *= 2
+
+    def read_sum(self) -> tuple[int, bytes]:
+        """Read lane 0 of every accumulator slice; returns (value, raw)."""
+        raw = bytearray()
+        total = 0
+        for w in range(self.width):
+            line = self.ex.read_lines(self.bank, self.A[w], 1)
+            raw += line[:1]
+            total |= (line[0] & 1) << w
+        return total, bytes(raw)
+
+    def compare_less_than(self, threshold: int) -> None:
+        """Build the ``value < threshold`` match mask in row L."""
+        ex, bank = self.ex, self.bank
+        if threshold < 0:
+            raise WorkloadError(f"threshold must be non-negative, got {threshold}")
+        if threshold >> self.width_in:
+            # Every representable value is below the threshold; the
+            # bit loop only scans width_in bits, so emit the constant
+            # mask directly instead of dropping the high bits.
+            ex.mra(bank, (self.ZERO, self.ONE), self.L, "OR")
+            return
+        # E: still-equal prefix (starts all ones); L: already-less.
+        ex.mra(bank, (self.ZERO, self.ONE), self.E, "OR")
+        ex.mra(bank, (self.ZERO, self.ONE), self.L, "AND")
+        t1 = self.T[0]
+        for w in reversed(range(self.width_in)):
+            if (threshold >> w) & 1:
+                ex.mra(bank, (self.E, self.An[w]), t1, "AND")
+                ex.mra(bank, (self.L, t1), self.L, "OR")
+                ex.mra(bank, (self.E, self.A[w]), self.E, "AND")
+            else:
+                ex.mra(bank, (self.E, self.An[w]), self.E, "AND")
+
+    def read_mask(self) -> tuple[int, bytes]:
+        """Read the match mask back; returns (live popcount, raw bytes).
+
+        Only ``ceil(lanes/8)`` bytes cross the bus — the 64x traffic
+        reduction over gathering the values. Dead lanes (which encode
+        the value 0 and may match the predicate) are sliced off before
+        the popcount.
+        """
+        mask_bytes = (self.lanes + 7) // 8
+        line_bytes = self.ex.module.line_bytes
+        columns = (mask_bytes + line_bytes - 1) // line_bytes
+        raw = self.ex.read_lines(self.bank, self.L, columns)[:mask_bytes]
+        bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
+                             bitorder="little")[: self.lanes]
+        return int(bits.sum()), raw
+
+
+def chunk_values(values: np.ndarray, banks: int, row_lanes: int,
+                 min_lanes: int = 4096) -> list[tuple[int, np.ndarray]]:
+    """Split a value column into per-bank chunks.
+
+    Chunks want to be as large as possible (per-chunk width overhead
+    amortises over lanes) but spread over banks for command-level
+    parallelism; below ``banks * min_lanes`` values, fewer, fuller
+    chunks win. Returns ``(bank, chunk)`` pairs, round-robin over
+    banks.
+    """
+    n = values.shape[0]
+    if n == 0:
+        raise WorkloadError("cannot chunk an empty column")
+    per_chunk = min(row_lanes, max(min_lanes, -(-n // banks)))
+    chunks = []
+    for index, start in enumerate(range(0, n, per_chunk)):
+        chunks.append((index % banks, values[start : start + per_chunk]))
+    return chunks

@@ -32,13 +32,12 @@ from repro.dram.commands import Command, CommandKind
 from repro.energy.model import system_energy
 from repro.errors import ConfigError, SimulationError
 from repro.mem.controller import _KIND_STAT, MemoryController
+from repro.mem.mapping import StaticPatternPolicy
 from repro.mem.request import MemoryRequest, Phase
 from repro.obs.session import current_session
 from repro.sim.config import Mechanism, SystemConfig
 from repro.sim.results import RunResult
 from repro.utils.statistics import StatGroup
-from repro.vm.page_table import PageTable
-from repro.vm.pattmalloc import PattAllocator
 
 
 def assert_fast_compatible(config: SystemConfig) -> None:
@@ -187,7 +186,7 @@ class FastSystem:
     still emit registry snapshots.
     """
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, mapping_policy=None) -> None:
         from repro.sim.system import _build_module
 
         assert_fast_compatible(config)
@@ -209,13 +208,10 @@ class FastSystem:
             l2_latency=config.l2_latency,
             prefetcher=None,
         )
-        self.page_table = PageTable()
-        self.allocator = PattAllocator(
-            capacity_bytes=self.module.geometry.capacity_bytes,
-            line_bytes=self.module.line_bytes,
-            row_bytes=self.module.geometry.row_bytes,
-            page_table=self.page_table,
-        )
+        policy_cls = mapping_policy or StaticPatternPolicy
+        self.mapping_policy = policy_cls(self.module)
+        self.page_table = self.mapping_policy.page_table
+        self.allocator = self.mapping_policy.allocator
         self.cores = [_FastCore(0)]
         session = current_session()
         if session is not None:

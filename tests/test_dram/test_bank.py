@@ -140,3 +140,68 @@ class TestStats:
         bank.block_until(1000)
         assert bank.next_activate >= 1000
         assert bank.next_column >= 1000
+
+
+class TestComputeWindows:
+    def test_mra_returns_full_window(self):
+        bank = make_bank()
+        end = bank.issue_mra((1, 2), now=100)
+        assert end == 100 + TIMING.t_mra(2)
+
+    def test_mra_three_rows_takes_longer(self):
+        assert make_bank().issue_mra((1, 2, 3), now=0) > make_bank().issue_mra(
+            (1, 2), now=0
+        )
+
+    def test_mra_is_atomic(self):
+        # Precharged in, precharged out: no row is left open.
+        bank = make_bank()
+        end = bank.issue_mra((1, 2), now=0)
+        assert bank.open_row is None
+        assert bank.next_activate >= end
+
+    def test_mra_on_open_bank_rejected(self):
+        bank = make_bank()
+        bank.issue_activate(1, now=0)
+        with pytest.raises(ProtocolError):
+            bank.issue_mra((2, 3), now=TIMING.t_rc)
+
+    def test_mra_before_window_rejected(self):
+        bank = make_bank()
+        end = bank.issue_mra((1, 2), now=0)
+        with pytest.raises(ProtocolError):
+            bank.issue_mra((3, 4), now=end - 1)
+
+    def test_mra_counts_activations(self):
+        bank = make_bank()
+        bank.issue_mra((1, 2, 3), now=0)
+        assert bank.activations == 3
+
+    def test_shift_returns_staged_window(self):
+        bank = make_bank()
+        end = bank.issue_shift(3, now=50)
+        assert end == 50 + TIMING.t_shift(3)
+
+    def test_shift_is_atomic(self):
+        bank = make_bank()
+        end = bank.issue_shift(1, now=0)
+        assert bank.open_row is None
+        assert bank.next_activate >= end
+
+    def test_shift_on_open_bank_rejected(self):
+        bank = make_bank()
+        bank.issue_activate(1, now=0)
+        with pytest.raises(ProtocolError):
+            bank.issue_shift(1, now=TIMING.t_rc)
+
+    def test_shift_before_window_rejected(self):
+        bank = make_bank()
+        end = bank.issue_shift(2, now=0)
+        with pytest.raises(ProtocolError):
+            bank.issue_shift(2, now=end - 1)
+
+    def test_compute_then_activate_respects_window(self):
+        bank = make_bank()
+        end = bank.issue_mra((1, 2), now=0)
+        bank.issue_activate(5, now=end)
+        assert bank.open_row == 5

@@ -93,3 +93,31 @@ class TestTFAW:
                      if cmd.kind.value == "ACT"]
         assert len(act_times) == 5
         assert act_times[4] - act_times[0] >= module.timing.t_faw
+
+
+class TestComputeTiming:
+    def test_mra_window_scales_with_fan_in(self):
+        timing = ddr3_1600()
+        assert timing.t_mra(2) == timing.t_ras + timing.t_rrd + timing.t_rp
+        assert timing.t_mra(3) == timing.t_ras + 2 * timing.t_rrd + timing.t_rp
+
+    def test_mra_fan_in_bounds(self):
+        timing = ddr3_1600()
+        with pytest.raises(ConfigError):
+            timing.t_mra(1)
+        with pytest.raises(ConfigError):
+            timing.t_mra(4)
+
+    def test_shift_window_scales_with_stages(self):
+        timing = ddr3_1600()
+        assert timing.t_shift(1) == timing.t_rcd + timing.t_ccd + timing.t_rp
+        assert timing.t_shift(4) == timing.t_rcd + 4 * timing.t_ccd + timing.t_rp
+
+    def test_shift_needs_a_stage(self):
+        with pytest.raises(ConfigError):
+            ddr3_1600().t_shift(0)
+
+    def test_compute_windows_scale_with_bus_ratio(self):
+        base = ddr3_1600()
+        assert base.scaled(5).t_mra(2) == base.t_mra(2) * 5
+        assert base.scaled(5).t_shift(2) == base.t_shift(2) * 5

@@ -79,10 +79,11 @@ class TestBenchCases:
         names = {case.name for case in bench_cases(scale_by_name("quick"))}
         assert names == {"fig7-patterns", "fig9-transactions",
                          "fig10-analytics", "fig11-htap", "fig13-gemm",
-                         "infer-gather", "fig7-sweep-event",
+                         "infer-gather", "pim-ablation", "fig7-sweep-event",
                          "fig7-sweep-fast", "fig9-transactions-fast",
                          "fig10-analytics-fast", "fig11-htap-fast",
                          "fig13-gemm-fast", "infer-gather-fast",
+                         "pim-ablation-fast",
                          "genverify-scalar", "genverify-vec"}
 
     def test_paper_scale_drops_event_figure_cases(self):
@@ -98,7 +99,7 @@ class TestBenchCases:
         cases = {case.name: case for case in bench_cases(scale_by_name("quick"))}
         for name in ("fig9-transactions-fast", "fig10-analytics-fast",
                      "fig11-htap-fast", "fig13-gemm-fast",
-                     "infer-gather-fast"):
+                     "infer-gather-fast", "pim-ablation-fast"):
             assert {s.mode for s in cases[name].specs} == {"fast"}, name
             event_twin = cases[name.removesuffix("-fast")]
             assert {s.mode for s in event_twin.specs} == {"event"}, name
@@ -117,6 +118,56 @@ class TestBenchCases:
         for case in bench_cases(scale_by_name("quick")):
             for spec in case.specs:
                 assert cache_key(spec)
+
+
+class TestPimBlock:
+    @staticmethod
+    def _run(workload, variant, work, accesses, energy_mj):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            workload=workload,
+            variant=variant,
+            work_proxy=work,
+            verified=True,
+            result=SimpleNamespace(
+                memory_accesses=accesses,
+                cycles=work,
+                energy=SimpleNamespace(total_mj=energy_mj),
+            ),
+        )
+
+    def test_event_entries_record_both_sides(self):
+        from repro.perf.bench import _pim_block
+
+        block = _pim_block({"event": [
+            self._run("filter", "gs", 1000, 512, 8.0),
+            self._run("filter", "pim", 250, 8, 2.0),
+        ]})
+        entry = block["event"]["filter"]
+        assert entry["gain"] == pytest.approx(4.0)
+        assert entry["traffic_reduction"] == pytest.approx(64.0)
+        assert entry["energy_gain"] == pytest.approx(4.0)
+        assert entry["gs_cycles"] == 1000 and entry["pim_cycles"] == 250
+        assert entry["gs_energy_mj"] == 8.0 and entry["pim_energy_mj"] == 2.0
+        assert entry["verified"]
+
+    def test_fast_entries_skip_energy(self):
+        from repro.perf.bench import _pim_block
+
+        block = _pim_block({"fast": [
+            self._run("sum", "gs", 512, 512, 0.0),
+            self._run("sum", "pim", 44, 44, 0.0),
+        ]})
+        entry = block["fast"]["sum"]
+        assert entry["gain"] > 1.0
+        assert "energy_gain" not in entry
+        assert "gs_cycles" not in entry
+
+    def test_empty_records_yield_none(self):
+        from repro.perf.bench import _pim_block
+
+        assert _pim_block({}) is None
 
 
 @pytest.mark.slow

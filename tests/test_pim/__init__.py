@@ -1,0 +1,1 @@
+"""Tests for the in-DRAM compute subsystem (repro.pim)."""
